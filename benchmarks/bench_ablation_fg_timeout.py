@@ -1,0 +1,74 @@
+"""Ablation (extension): forwarding-group lifetime vs metric gains.
+
+ODMRP keeps forwarding-group flags alive for several refresh rounds; the
+accumulated union of recent paths is a redundancy mesh that delivers
+packets even when the *current* route choice is poor.  The longer that
+lifetime, the more the baseline's redundancy hides its bad (min-hop,
+lossy) choices -- shrinking the measured benefit of link-quality metrics.
+This is the same mechanism the paper describes for multiple sources per
+group (Section 4.3), here exercised through the FG timer.
+
+The bench sweeps the FG lifetime on the testbed and reports ODMRP_SPP's
+gain over ODMRP at each setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import render_table
+from repro.experiments.runner import collect_result
+from repro.odmrp.config import OdmrpConfig
+from repro.testbed.emulator import build_testbed_scenario
+from benchmarks.conftest import testbed_config, testbed_seeds
+
+FG_TIMEOUTS = (3.0, 4.5, 9.0)
+
+
+def run_sweep():
+    base = testbed_config()
+    results = {}
+    for fg_timeout in FG_TIMEOUTS:
+        odmrp_config = OdmrpConfig(fg_timeout_s=fg_timeout)
+        delivered = {"odmrp": 0, "spp": 0}
+        for seed in testbed_seeds():
+            config = replace(
+                base.with_run_seed(seed), odmrp=odmrp_config
+            )
+            for protocol in ("odmrp", "spp"):
+                scenario = build_testbed_scenario(protocol, config)
+                scenario.run()
+                delivered[protocol] += collect_result(
+                    scenario
+                ).delivered_packets
+        results[fg_timeout] = delivered
+    return results
+
+
+def bench_ablation_fg_timeout(benchmark):
+    results = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    rows = []
+    gains = {}
+    for fg_timeout, delivered in sorted(results.items()):
+        gain = delivered["spp"] / max(1, delivered["odmrp"]) - 1.0
+        gains[fg_timeout] = gain
+        rows.append((
+            f"{fg_timeout:.1f}s ({fg_timeout / 3.0:.1f} rounds)",
+            str(delivered["odmrp"]),
+            str(delivered["spp"]),
+            f"{gain:+.1%}",
+        ))
+    print()
+    print(render_table(
+        ("FG lifetime", "ODMRP delivered", "ODMRP_SPP delivered",
+         "SPP gain"),
+        rows,
+        title=(
+            "Ablation: forwarding-group lifetime vs metric gain "
+            "(testbed; longer FG = more baseline redundancy = less gain)"
+        ),
+    ))
+    benchmark.extra_info["gains"] = {str(k): v for k, v in gains.items()}
+    # The redundancy trend: the gain with the longest FG lifetime must
+    # not exceed the gain with the shortest.
+    assert gains[9.0] <= gains[3.0] + 0.05, gains

@@ -1,0 +1,63 @@
+"""Benchmark E13 (ablation): PP's loss penalty and EWMA memory.
+
+Section 4.2.1 and 5.3 attribute PP's strength to two design choices: the
+20% penalty per lost probe pair (which compounds exponentially on lossy
+links) and the long EWMA history (which keeps blown-up costs high so
+lossy paths are "never chosen in the future").  This ablation removes
+each ingredient on the testbed, where those properties earned PP its
+best-in-class +17.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import render_table
+from repro.experiments.runner import collect_result
+from repro.probing.manager import ProbingConfig
+from repro.testbed.emulator import build_testbed_scenario
+from benchmarks.conftest import testbed_config, testbed_seeds
+
+VARIANTS = (
+    ("paper (1.2 penalty, 0.9 history)", 1.2, 0.9),
+    ("no penalty", 1.0, 0.9),
+    ("short memory", 1.2, 0.5),
+)
+
+
+def run_sweep():
+    base = testbed_config()
+    results = {}
+    for label, penalty, history in VARIANTS:
+        probing = ProbingConfig(
+            loss_penalty_factor=penalty, ewma_history_weight=history
+        )
+        delivered = 0
+        for seed in testbed_seeds():
+            config = replace(
+                base.with_run_seed(seed), probing=probing
+            )
+            scenario = build_testbed_scenario("pp", config)
+            scenario.run()
+            delivered += collect_result(scenario).delivered_packets
+        results[label] = delivered
+    return results
+
+
+def bench_ablation_pp_penalty(benchmark):
+    results = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    paper_value = results[VARIANTS[0][0]]
+    rows = [
+        (label, str(count), f"{count / paper_value:.3f}")
+        for label, count in results.items()
+    ]
+    print()
+    print(render_table(
+        ("PP variant", "delivered packets", "vs paper settings"),
+        rows,
+        title="Ablation: PP's loss penalty and EWMA memory (testbed)",
+    ))
+    benchmark.extra_info["results"] = results
+    # Removing the penalty removes PP's only loss signal -- it must not
+    # outperform the paper's configuration.
+    assert results["no penalty"] <= paper_value * 1.05, results

@@ -1,0 +1,39 @@
+"""Benchmarks E1/E2: the analytic metric examples of Figures 1 and 3.
+
+These must match the paper *exactly* -- they are pure metric arithmetic.
+The benchmark times the metric evaluation itself (millions of path-cost
+folds per second matter for the routing hot path).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_comparison
+from repro.experiments.figures import figure1_metx_vs_spp, figure3_etx_vs_spp
+
+
+def bench_figure1_metx_vs_spp(benchmark):
+    result = benchmark(figure1_metx_vs_spp)
+    print()
+    print(render_comparison(
+        result.measured, result.paper, value_label="path cost",
+        title="Figure 1: METX vs 1/SPP on the diamond example",
+    ))
+    for key, value in result.paper.items():
+        assert abs(result.measured[key] - value) < 1e-9
+    # The paper's point: the two metrics disagree about the best path.
+    assert result.measured["metx_abd"] < result.measured["metx_acd"]
+    assert result.measured["inv_spp_acd"] < result.measured["inv_spp_abd"]
+
+
+def bench_figure3_etx_vs_spp(benchmark):
+    result = benchmark(figure3_etx_vs_spp)
+    print()
+    print(render_comparison(
+        result.measured, result.paper, value_label="path cost",
+        title="Figure 3: ETX vs SPP, lossy-link avoidance",
+    ))
+    assert abs(result.measured["etx_abcd"] - 3.75) < 1e-9
+    assert abs(result.measured["spp_abcd"] - 0.512) < 1e-9
+    # ETX picks the path with the 0.4 link; SPP avoids it.
+    assert result.measured["etx_aed"] < result.measured["etx_abcd"]
+    assert result.measured["spp_abcd"] > result.measured["spp_aed"]

@@ -1,0 +1,50 @@
+"""Benchmark E10: Figure 4, ping-based link classification.
+
+Runs the authors' methodology (a series of ping exchanges per node pair)
+over the emulated floor and checks the measured lossy/low-loss verdicts
+against the Figure 4 ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.testbed.emulator import TestbedScenarioConfig, build_testbed_scenario
+from repro.testbed.floormap import testbed_links
+from repro.testbed.ping import classify_links_by_ping, symmetric_classification
+
+
+def run_classification():
+    scenario = build_testbed_scenario(
+        "odmrp", TestbedScenarioConfig(run_seed=2)
+    )
+    directed = classify_links_by_ping(scenario.network, pings_per_node=150)
+    return scenario, symmetric_classification(directed)
+
+
+def bench_fig4_link_classification(benchmark):
+    scenario, merged = benchmark.pedantic(
+        run_classification, iterations=1, rounds=1
+    )
+    truth = {link.key: link.lossy for link in testbed_links()}
+    rows = []
+    correct = 0
+    for key, verdict in sorted(merged.items(), key=lambda kv: sorted(kv[0])):
+        a, b = sorted(scenario.index_to_label[i] for i in key)
+        expected = truth[frozenset((a, b))]
+        match = verdict.lossy == expected
+        correct += match
+        rows.append((
+            f"{a}-{b}",
+            f"{verdict.loss_rate:.0%}",
+            "lossy" if verdict.lossy else "low-loss",
+            "lossy" if expected else "low-loss",
+            "ok" if match else "MISMATCH",
+        ))
+    print()
+    print(render_table(
+        ("link", "ping loss", "classified", "figure 4", "verdict"),
+        rows,
+        title="Figure 4: ping-based link classification of the testbed",
+    ))
+    assert len(merged) == len(truth), "every Figure 4 link must be measured"
+    assert correct == len(rows), "classification must match Figure 4"

@@ -1,0 +1,50 @@
+"""Benchmark E11: Figure 5, the trees built by ODMRP vs ODMRP_PP.
+
+Extracts the heavily used links of each protocol's forwarding structure
+on the testbed.  The paper's qualitative claim: ODMRP leans on the lossy
+one-hop links (2-5, 4-7, 1-3, 9-3) while ODMRP_PP routes around them
+(2-10-5, 4-9-7, ...).  Quantified here as the share of accepted data
+that crossed a Figure 4 lossy link.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.experiments.figures import figure5_tree_edges, lossy_link_data_share
+from repro.testbed.floormap import lossy_link_keys
+from benchmarks.conftest import testbed_config
+
+
+def bench_fig5_tree_edges(benchmark):
+    trees = benchmark.pedantic(
+        lambda: figure5_tree_edges(testbed_config(), ("odmrp", "pp")),
+        iterations=1,
+        rounds=1,
+    )
+    lossy = set(lossy_link_keys())
+    shares = {}
+    for protocol, tree in trees.items():
+        shares[protocol] = lossy_link_data_share(tree)
+        rows = [
+            (
+                f"{src}->{dst}",
+                f"{share:.2f}",
+                "lossy" if frozenset((src, dst)) in lossy else "low-loss",
+            )
+            for src, dst, share in tree[:10]
+        ]
+        print()
+        print(render_table(
+            ("link", "relative data share", "figure 4 class"),
+            rows,
+            title=f"Figure 5: heavily used links under {protocol}",
+        ))
+    print(
+        f"\nshare of tree traffic on lossy links: "
+        f"odmrp={shares['odmrp']:.1%}  pp={shares['pp']:.1%} "
+        "(paper: PP's tree avoids the dashed links)"
+    )
+    benchmark.extra_info["lossy_share"] = shares
+    assert shares["pp"] < shares["odmrp"], (
+        "ODMRP_PP must push less data over lossy links than ODMRP"
+    )

@@ -1,0 +1,63 @@
+"""Benchmark (extension): multi-channel path selection with MC-WCETT.
+
+The paper's stated future work.  Samples random multi-radio meshes with
+an interference-aware channel assignment and compares the paths chosen
+by channel-blind ETT against MC-WCETT across a beta sweep: how often the
+channel-aware metric finds a path with a lower bottleneck-channel
+airtime, at what total-airtime cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.multichannel.study import run_path_selection_study
+
+BETAS = (0.0, 0.3, 0.5, 0.8)
+
+
+def run_sweep():
+    return {
+        beta: run_path_selection_study(
+            num_meshes=4, num_nodes=20, pairs_per_mesh=6, beta=beta, seed=7
+        )
+        for beta in BETAS
+    }
+
+
+def bench_multichannel_wcett(benchmark):
+    results = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    rows = []
+    for beta, result in sorted(results.items()):
+        rows.append((
+            f"{beta:.1f}",
+            str(result.pairs_evaluated),
+            f"{result.improvement_rate:.0%}",
+            f"{result.mean_bottleneck_reduction_pct:+.1f}%",
+            f"{result.mean_airtime_overhead_pct:+.1f}%",
+        ))
+    print()
+    print(render_table(
+        ("beta", "pairs", "paths improved", "bottleneck reduction",
+         "airtime overhead"),
+        rows,
+        title=(
+            "MC-WCETT vs channel-blind ETT on multi-radio meshes "
+            "(future-work extension)"
+        ),
+    ))
+    benchmark.extra_info["by_beta"] = {
+        f"{beta:.1f}": {
+            "improvement_rate": result.improvement_rate,
+            "bottleneck_reduction_pct": result.mean_bottleneck_reduction_pct,
+        }
+        for beta, result in results.items()
+    }
+    # beta = 0 is exactly ETT: no bottleneck improvements by construction.
+    assert results[0.0].mean_bottleneck_reduction_pct <= 1e-9
+    # A positive beta must find at least some channel-diverse wins.
+    assert any(
+        results[beta].wcett_improved > 0 for beta in BETAS if beta > 0
+    )
+    # Diversity must not cost unbounded extra airtime.
+    for beta in BETAS:
+        assert results[beta].mean_airtime_overhead_pct < 30.0

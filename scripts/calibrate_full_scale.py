@@ -1,0 +1,74 @@
+"""Full paper-scale calibration run.
+
+Runs the Section 4 simulation comparison (50 nodes, 400 s, 10 topologies)
+and the Section 5 testbed comparison (400 s, 5 seeds), printing the
+Figure 2 columns and Table 1 next to the paper's numbers.  Takes tens of
+minutes; the benchmark suite runs scaled-down versions of the same code.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.tables import render_comparison
+from repro.experiments import figures
+from repro.experiments.results import aggregate_runs, normalized_metric_table
+
+
+def log(message: str) -> None:
+    print(f"[{time.strftime('%H:%M:%S')}] {message}", flush=True)
+
+
+def main() -> None:
+    seeds = tuple(range(1, 11))
+    log(f"simulation sweep: seeds {seeds}")
+    runs = []
+    from dataclasses import replace
+
+    from repro.experiments.runner import run_protocol
+    from repro.experiments.scenarios import (
+        PROTOCOL_NAMES,
+        SimulationScenarioConfig,
+    )
+
+    config = SimulationScenarioConfig()
+    for seed in seeds:
+        for protocol in PROTOCOL_NAMES:
+            start = time.time()
+            result = run_protocol(protocol, replace(config, topology_seed=seed))
+            log(
+                f"seed {seed} {protocol:6s} pdr={result.packet_delivery_ratio:.3f} "
+                f"delay={result.mean_delay_s or -1:.4f} "
+                f"ovh={result.probe_overhead_pct:.2f}% "
+                f"({time.time() - start:.0f}s)"
+            )
+            runs.append(result)
+
+    aggregates = aggregate_runs(runs)
+    throughput = normalized_metric_table(aggregates, "throughput")
+    delay = normalized_metric_table(aggregates, "delay")
+    print(render_comparison(
+        throughput, figures.PAPER_THROUGHPUT_SIMULATIONS,
+        title="== Figure 2: Throughput-simulations =="))
+    print(render_comparison(
+        delay, figures.PAPER_DELAY, title="== Figure 2: Delay =="))
+    overhead = {
+        name: agg.mean_probe_overhead_pct
+        for name, agg in aggregates.items() if name != "odmrp"
+    }
+    print(render_comparison(
+        overhead, figures.PAPER_TABLE1_OVERHEAD_PCT,
+        value_label="overhead %",
+        title="== Table 1: probing overhead =="))
+
+    log("testbed sweep")
+    testbed = figures.figure2_throughput_testbed()
+    print(render_comparison(
+        testbed.measured, testbed.paper,
+        title="== Figure 2: Throughput-testbed =="))
+    log("done")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Statistics helpers and ASCII table rendering for experiment output."""
+
+from repro.analysis.charts import (
+    render_bar_chart,
+    render_grouped_chart,
+    render_sparkline,
+)
+from repro.analysis.stats import confidence_interval_95, mean, stddev
+from repro.analysis.tables import render_comparison, render_table
+
+__all__ = [
+    "mean",
+    "stddev",
+    "confidence_interval_95",
+    "render_table",
+    "render_comparison",
+    "render_bar_chart",
+    "render_grouped_chart",
+    "render_sparkline",
+]

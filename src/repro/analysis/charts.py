@@ -1,0 +1,75 @@
+"""Text bar charts for terminal-friendly figure rendering.
+
+The paper's Figure 2 is a grouped bar chart; ``render_bar_chart`` gives
+the CLI and examples a visual rendering of the same series without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    baseline: Optional[float] = None,
+    title: Optional[str] = None,
+    fill: str = "#",
+    precision: int = 3,
+) -> str:
+    """Render name -> value as horizontal bars.
+
+    When ``baseline`` is given, a ``|`` marker is drawn at its position
+    -- used to show the ODMRP = 1.0 reference line in normalized charts.
+    """
+    if width < 10:
+        raise ValueError("width below 10 is unreadable")
+    if not values:
+        raise ValueError("nothing to chart")
+    maximum = max(values.values())
+    if maximum <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_width = max(len(name) for name in values)
+    lines = []
+    if title:
+        lines.append(title)
+    marker_position = None
+    if baseline is not None and 0 < baseline <= maximum:
+        marker_position = round(width * baseline / maximum)
+    for name, value in values.items():
+        bar_length = max(0, round(width * value / maximum))
+        bar = list(fill * bar_length + " " * (width - bar_length))
+        if marker_position is not None and 0 < marker_position <= width:
+            index = marker_position - 1
+            bar[index] = "|" if index >= bar_length else "+"
+        lines.append(
+            f"{name.ljust(label_width)}  {''.join(bar)}  {value:.{precision}f}"
+        )
+    return "\n".join(lines)
+
+
+def render_grouped_chart(
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    baseline: Optional[float] = None,
+) -> str:
+    """Several charts stacked with their series titles (Figure 2 style)."""
+    blocks = [
+        render_bar_chart(values, width=width, baseline=baseline, title=title)
+        for title, values in series.items()
+    ]
+    return "\n\n".join(blocks)
+
+
+def render_sparkline(values: Sequence[float]) -> str:
+    """A one-line trend sketch (used for time-series diagnostics)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return glyphs[len(glyphs) // 2] * len(values)
+    scale = (len(glyphs) - 1) / (high - low)
+    return "".join(glyphs[int((v - low) * scale)] for v in values)

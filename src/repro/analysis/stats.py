@@ -1,0 +1,42 @@
+"""Small statistics helpers (no heavy dependencies).
+
+The experiment harness needs means, sample standard deviations, and
+normal-approximation confidence intervals over per-topology replications.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return math.fsum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); zero for fewer than two samples."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    center = mean(values)
+    variance = math.fsum((v - center) ** 2 for v in values) / (n - 1)
+    return math.sqrt(variance)
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95 % CI for the mean of ``values``."""
+    center = mean(values)
+    if len(values) < 2:
+        return (center, center)
+    half_width = 1.96 * stddev(values) / math.sqrt(len(values))
+    return (center - half_width, center + half_width)
+
+
+def relative_gain_pct(value: float, baseline: float) -> float:
+    """Percentage improvement of ``value`` over ``baseline``."""
+    if baseline == 0:
+        raise ValueError("baseline is zero")
+    return 100.0 * (value - baseline) / baseline

@@ -1,0 +1,67 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The figures in the paper are bar charts; the reproduction renders the
+same series as aligned text tables so the benchmark harness can print
+paper-versus-measured rows directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a column-aligned ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    measured: Mapping[str, float],
+    paper: Mapping[str, float],
+    value_label: str = "normalized value",
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Paper-vs-measured rows for one Figure 2 column or Table 1.
+
+    Protocols present in only one of the mappings get a ``-`` in the
+    other column rather than being dropped.
+    """
+    names = list(dict.fromkeys(list(paper) + list(measured)))
+    rows = []
+    for name in names:
+        measured_text = (
+            f"{measured[name]:.{precision}f}" if name in measured else "-"
+        )
+        paper_text = f"{paper[name]:.{precision}f}" if name in paper else "-"
+        rows.append((name, paper_text, measured_text))
+    return render_table(
+        ("protocol", f"paper {value_label}", f"measured {value_label}"),
+        rows,
+        title=title,
+    )

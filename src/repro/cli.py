@@ -1,0 +1,232 @@
+"""Command-line interface for the reproduction experiments.
+
+Run as ``python -m repro.cli <command>`` (or the ``repro`` console script
+when installed).  Every command prints paper-vs-measured tables built by
+:mod:`repro.experiments.figures`.
+
+Commands::
+
+    fig1        Figure 1 (METX vs SPP, analytic -- instant)
+    fig3        Figure 3 (ETX vs SPP, analytic -- instant)
+    fig2-sim    Figure 2 throughput + delay columns (simulation sweep)
+    table1      Table 1 probing overhead (simulation sweep)
+    testbed     Figure 2 testbed column (Section 5 emulation)
+    fig4        Figure 4 ping-based link classification
+    fig5        Figure 5 tree edges, ODMRP vs ODMRP_PP
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.tables import render_comparison, render_table
+from repro.experiments import figures
+from repro.experiments.results import aggregate_runs, normalized_metric_table
+from repro.experiments.scenarios import SimulationScenarioConfig
+from repro.testbed.emulator import TestbedScenarioConfig
+
+
+def _simulation_config(args: argparse.Namespace) -> SimulationScenarioConfig:
+    return SimulationScenarioConfig(
+        num_nodes=args.nodes,
+        duration_s=args.duration,
+        warmup_s=min(30.0, args.duration / 4),
+    )
+
+
+def _seeds(args: argparse.Namespace) -> tuple:
+    return tuple(range(1, args.topologies + 1))
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    result = figures.figure1_metx_vs_spp()
+    print(render_comparison(
+        result.measured, result.paper, value_label="path cost",
+        title="Figure 1: METX vs 1/SPP",
+    ))
+    print(result.notes)
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    result = figures.figure3_etx_vs_spp()
+    print(render_comparison(
+        result.measured, result.paper, value_label="path cost",
+        title="Figure 3: ETX vs SPP",
+    ))
+    print(result.notes)
+    return 0
+
+
+def cmd_fig2_sim(args: argparse.Namespace) -> int:
+    config = _simulation_config(args)
+    seeds = _seeds(args)
+    print(
+        f"running 6 protocols x {len(seeds)} topologies "
+        f"({config.num_nodes} nodes, {config.duration_s:.0f} s each) ..."
+    )
+    runs = figures.simulation_sweep(config, seeds)
+    aggregates = aggregate_runs(runs)
+    throughput = normalized_metric_table(aggregates, "throughput")
+    print()
+    print(render_comparison(
+        throughput,
+        figures.PAPER_THROUGHPUT_SIMULATIONS,
+        title="Figure 2 / Throughput-simulations",
+    ))
+    print()
+    from repro.analysis.charts import render_bar_chart
+
+    print(render_bar_chart(
+        throughput, baseline=1.0,
+        title="normalized throughput (| marks the ODMRP baseline)",
+    ))
+    print()
+    print(render_comparison(
+        normalized_metric_table(aggregates, "delay"),
+        figures.PAPER_DELAY,
+        title="Figure 2 / Delay (paper values approximate)",
+    ))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    config = _simulation_config(args)
+    result = figures.table1_probing_overhead(config, _seeds(args))
+    print(render_comparison(
+        result.measured, result.paper, value_label="overhead %",
+        title="Table 1 / probing overhead",
+    ))
+    return 0
+
+
+def cmd_testbed(args: argparse.Namespace) -> int:
+    config = TestbedScenarioConfig(
+        duration_s=args.duration, warmup_s=min(30.0, args.duration / 4)
+    )
+    seeds = tuple(range(1, args.runs + 1))
+    print(f"running 6 protocols x {len(seeds)} testbed runs ...")
+    result = figures.figure2_throughput_testbed(config, seeds)
+    print()
+    print(render_comparison(
+        result.measured, result.paper,
+        title="Figure 2 / Throughput-testbed",
+    ))
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.testbed.emulator import build_testbed_scenario
+    from repro.testbed.floormap import testbed_links
+    from repro.testbed.ping import (
+        classify_links_by_ping,
+        symmetric_classification,
+    )
+
+    scenario = build_testbed_scenario(
+        "odmrp", TestbedScenarioConfig(run_seed=args.seed)
+    )
+    directed = classify_links_by_ping(scenario.network, pings_per_node=150)
+    merged = symmetric_classification(directed)
+    truth = {link.key: link.lossy for link in testbed_links()}
+    rows = []
+    for key, verdict in sorted(merged.items(), key=lambda kv: sorted(kv[0])):
+        a, b = sorted(scenario.index_to_label[i] for i in key)
+        rows.append((
+            f"{a}-{b}",
+            f"{verdict.loss_rate:.0%}",
+            "lossy" if verdict.lossy else "low-loss",
+            "lossy" if truth[frozenset((a, b))] else "low-loss",
+        ))
+    print(render_table(
+        ("link", "ping loss", "classified", "figure 4"), rows,
+        title="Figure 4: link classification by ping",
+    ))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    config = TestbedScenarioConfig(
+        duration_s=args.duration, warmup_s=min(30.0, args.duration / 4),
+        run_seed=args.seed,
+    )
+    trees = figures.figure5_tree_edges(config, ("odmrp", "pp"))
+    from repro.testbed.floormap import lossy_link_keys
+
+    lossy = set(lossy_link_keys())
+    for protocol, tree in trees.items():
+        rows = [
+            (
+                f"{src}->{dst}", f"{share:.2f}",
+                "lossy" if frozenset((src, dst)) in lossy else "low-loss",
+            )
+            for src, dst, share in tree[:10]
+        ]
+        print()
+        print(render_table(
+            ("link", "data share", "class"), rows,
+            title=f"Figure 5: heavily used links under {protocol}",
+        ))
+        print(
+            "lossy-link share: "
+            f"{figures.lossy_link_data_share(tree):.1%}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables and figures from 'High-Throughput Multicast "
+            "Routing Metrics in Wireless Mesh Networks' (ICDCS 2006)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, handler, help_text, *, sim=False, testbed=False):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.set_defaults(handler=handler)
+        if sim:
+            sub.add_argument("--nodes", type=int, default=50,
+                             help="network size (paper: 50)")
+            sub.add_argument("--duration", type=float, default=150.0,
+                             help="seconds of simulated time (paper: 400)")
+            sub.add_argument("--topologies", type=int, default=1,
+                             help="random topologies (paper: 10)")
+        if testbed:
+            sub.add_argument("--duration", type=float, default=400.0,
+                             help="seconds of simulated time (paper: 400)")
+            sub.add_argument("--runs", type=int, default=2,
+                             help="repetitions (paper: 5)")
+            sub.add_argument("--seed", type=int, default=1)
+        return sub
+
+    add("fig1", cmd_fig1, "Figure 1: METX vs SPP (analytic)")
+    add("fig3", cmd_fig3, "Figure 3: ETX vs SPP (analytic)")
+    add("fig2-sim", cmd_fig2_sim,
+        "Figure 2 simulation columns (throughput + delay)", sim=True)
+    add("table1", cmd_table1, "Table 1 probing overhead", sim=True)
+    add("testbed", cmd_testbed, "Figure 2 testbed column", testbed=True)
+    add("fig4", cmd_fig4, "Figure 4 link classification", testbed=True)
+    add("fig5", cmd_fig5, "Figure 5 tree edges", testbed=True)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: multicast link-quality routing metrics.
+
+Five metrics adapted for link-layer-broadcast multicast, plus the hop-count
+baseline:
+
+* :class:`~repro.core.metrics.EtxMetric` -- forward-only expected
+  transmission count, additive.
+* :class:`~repro.core.metrics.EttMetric` -- expected transmission time,
+  additive.
+* :class:`~repro.core.metrics.PpMetric` -- packet-pair delay with loss
+  penalty, additive.
+* :class:`~repro.core.metrics.MetxMetric` -- multicast ETX, recursive
+  composition over the path.
+* :class:`~repro.core.metrics.SppMetric` -- success probability product,
+  multiplicative, higher-is-better.
+* :class:`~repro.core.metrics.HopCountMetric` -- the baseline.
+"""
+
+from repro.core.accumulation import (
+    additive,
+    multiplicative,
+    path_cost,
+    recursive_metx,
+)
+from repro.core.comparison import best_path, normalize_against, rank_paths
+from repro.core.metrics import (
+    EttMetric,
+    EtxMetric,
+    HopCountMetric,
+    LinkQuality,
+    MetxMetric,
+    PpMetric,
+    RouteMetric,
+    SppMetric,
+    metric_by_name,
+    ALL_METRIC_NAMES,
+)
+
+__all__ = [
+    "RouteMetric",
+    "LinkQuality",
+    "HopCountMetric",
+    "EtxMetric",
+    "EttMetric",
+    "PpMetric",
+    "MetxMetric",
+    "SppMetric",
+    "metric_by_name",
+    "ALL_METRIC_NAMES",
+    "additive",
+    "multiplicative",
+    "recursive_metx",
+    "path_cost",
+    "best_path",
+    "rank_paths",
+    "normalize_against",
+]

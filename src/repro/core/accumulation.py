@@ -1,0 +1,65 @@
+"""Path-cost composition helpers.
+
+These free functions mirror the three composition shapes of Section 2:
+additive (ETX, ETT, PP), multiplicative (SPP), and the METX recursion.
+They exist alongside ``RouteMetric.combine`` so analyses and tests can
+compute whole-path costs directly from per-link quantities -- exactly the
+arithmetic of Figures 1 and 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.metrics import INFINITE_COST, RouteMetric
+
+
+def additive(link_costs: Sequence[float]) -> float:
+    """Sum of the link costs (unicast-style composition)."""
+    return math.fsum(link_costs)
+
+
+def multiplicative(link_values: Sequence[float]) -> float:
+    """Product of the link values (SPP composition)."""
+    result = 1.0
+    for value in link_values:
+        result *= value
+    return result
+
+
+def recursive_metx(delivery_ratios: Sequence[float]) -> float:
+    """METX over a path given per-link forward delivery ratios.
+
+    Implements Equation (2): ``sum_i 1 / prod_{j>=i} df_j`` via the
+    hop-by-hop recursion ``C' = (C + 1) / df``.
+    """
+    cost = 0.0
+    for df in delivery_ratios:
+        if df <= 0.0:
+            return INFINITE_COST
+        cost = (cost + 1.0) / df
+    return cost
+
+
+def metx_closed_form(delivery_ratios: Sequence[float]) -> float:
+    """Equation (2) evaluated literally (cross-check for the recursion)."""
+    n = len(delivery_ratios)
+    total = 0.0
+    for i in range(n):
+        suffix_product = 1.0
+        for j in range(i, n):
+            df = delivery_ratios[j]
+            if df <= 0.0:
+                return INFINITE_COST
+            suffix_product *= df
+        total += 1.0 / suffix_product
+    return total
+
+
+def path_cost(metric: RouteMetric, link_costs: Sequence[float]) -> float:
+    """Fold per-link costs through ``metric.combine`` from the source out."""
+    cost = metric.initial_cost()
+    for link_cost in link_costs:
+        cost = metric.combine(cost, link_cost)
+    return cost

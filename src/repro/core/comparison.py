@@ -1,0 +1,65 @@
+"""Path selection and result-normalization helpers.
+
+``best_path`` / ``rank_paths`` apply a metric's ordering to candidate
+paths; ``normalize_against`` produces the "normalized value" columns of
+Figure 2 (every protocol variant divided by the original-ODMRP baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.metrics import RouteMetric
+
+PathT = TypeVar("PathT")
+
+
+def best_path(
+    metric: RouteMetric, candidates: Mapping[PathT, float]
+) -> Optional[PathT]:
+    """The candidate with the best usable cost; None if none is usable.
+
+    Ties keep the first-seen candidate (insertion order), matching the
+    protocol behaviour where the earliest JOIN QUERY wins among equals.
+    """
+    best: Optional[PathT] = None
+    best_cost = metric.worst_cost()
+    for candidate, cost in candidates.items():
+        if not metric.is_usable(cost):
+            continue
+        if best is None or metric.is_better(cost, best_cost):
+            best = candidate
+            best_cost = cost
+    return best
+
+
+def rank_paths(
+    metric: RouteMetric, candidates: Mapping[PathT, float]
+) -> Sequence[Tuple[PathT, float]]:
+    """Candidates sorted best-first under the metric (unusable paths last)."""
+
+    def sort_key(item: Tuple[PathT, float]) -> Tuple[int, float]:
+        _, cost = item
+        usable = 0 if metric.is_usable(cost) else 1
+        oriented = -cost if metric.higher_is_better else cost
+        return (usable, oriented)
+
+    return sorted(candidates.items(), key=sort_key)
+
+
+def normalize_against(
+    values: Mapping[str, float], baseline_key: str
+) -> Dict[str, float]:
+    """Divide every value by the baseline's (Figure 2's normalization).
+
+    Raises if the baseline is missing or zero -- a zero baseline means the
+    experiment produced no traffic and normalizing would hide the bug.
+    """
+    if baseline_key not in values:
+        raise KeyError(f"baseline {baseline_key!r} missing from results")
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError(
+            f"baseline {baseline_key!r} is zero; cannot normalize"
+        )
+    return {key: value / baseline for key, value in values.items()}

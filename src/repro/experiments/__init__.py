@@ -1,0 +1,42 @@
+"""Evaluation harness: scenario builders, sweep runner, figure reproductions.
+
+* :mod:`repro.experiments.scenarios` -- build a ready-to-run protocol
+  stack (network + probing + routers + traffic) for one protocol variant.
+* :mod:`repro.experiments.runner` -- run variants across topologies and
+  collect :class:`~repro.experiments.results.RunResult` rows.
+* :mod:`repro.experiments.results` -- aggregation and normalization.
+* :mod:`repro.experiments.figures` -- one entry point per paper table or
+  figure (the benchmark suite calls these).
+"""
+
+from repro.experiments.faults import FailureInjector, OutageWindow
+from repro.experiments.report import render_report
+from repro.experiments.results import (
+    AggregateResult,
+    RunResult,
+    aggregate_runs,
+    normalized_metric_table,
+)
+from repro.experiments.runner import compare_protocols, run_protocol
+from repro.experiments.scenarios import (
+    PROTOCOL_NAMES,
+    SimulationScenario,
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+__all__ = [
+    "SimulationScenarioConfig",
+    "SimulationScenario",
+    "build_simulation_scenario",
+    "PROTOCOL_NAMES",
+    "run_protocol",
+    "compare_protocols",
+    "RunResult",
+    "AggregateResult",
+    "aggregate_runs",
+    "normalized_metric_table",
+    "render_report",
+    "FailureInjector",
+    "OutageWindow",
+]

@@ -1,0 +1,78 @@
+"""Failure injection: radio outages for robustness experiments.
+
+The paper's mesh is static and failure-free, but a credible ODMRP
+implementation must survive router crashes: the soft-state design
+(periodic JOIN QUERY refresh + forwarding-group timeout) is exactly what
+repairs routes after an outage.  The test suite uses this module to
+verify that property; it is also available for user experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class OutageWindow:
+    """One planned radio outage."""
+
+    node_id: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"outage must end after it starts ({self.start_s} .. {self.end_s})"
+            )
+
+
+@dataclass
+class FailureInjector:
+    """Schedules radio down/up transitions on simulator time."""
+
+    sim: Simulator
+    windows: List[OutageWindow] = field(default_factory=list)
+
+    def schedule_outage(self, node: Node, start_s: float, end_s: float) -> None:
+        """Take ``node`` down during ``[start_s, end_s)`` (absolute times)."""
+        window = OutageWindow(node.node_id, start_s, end_s)
+        self.windows.append(window)
+        self.sim.schedule_at(start_s, node.set_active, False)
+        self.sim.schedule_at(end_s, node.set_active, True)
+
+    def schedule_flapping(
+        self,
+        node: Node,
+        start_s: float,
+        period_s: float,
+        down_fraction: float,
+        until_s: float,
+    ) -> int:
+        """Repeated outages: down for ``down_fraction`` of every period.
+
+        Returns the number of outages scheduled.  Models a marginal
+        router (overheating, flaky power) rather than a clean crash.
+        """
+        if not 0.0 < down_fraction < 1.0:
+            raise ValueError("down fraction must be in (0, 1)")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        count = 0
+        start = start_s
+        while start < until_s:
+            down_end = min(start + down_fraction * period_s, until_s)
+            self.schedule_outage(node, start, down_end)
+            count += 1
+            start += period_s
+        return count
+
+    def total_downtime_s(self, node_id: int) -> float:
+        """Scheduled downtime for one node (diagnostics)."""
+        return sum(
+            w.end_s - w.start_s for w in self.windows if w.node_id == node_id
+        )

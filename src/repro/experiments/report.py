@@ -1,0 +1,150 @@
+"""Markdown report generation from experiment results.
+
+Takes the raw :class:`~repro.experiments.results.RunResult` rows a sweep
+produced and renders a self-contained markdown report: normalized
+columns next to the paper's values, per-topology spread, and the
+counters that explain *why* a variant won (forwarding volume, collision
+rates, probe bytes).
+
+Used by power users to snapshot a sweep; EXPERIMENTS.md in this
+repository was assembled from the same numbers at full scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.stats import confidence_interval_95, mean
+from repro.experiments.results import (
+    RunResult,
+    aggregate_runs,
+    normalized_metric_table,
+)
+
+_PROTOCOL_ORDER = ("odmrp", "ett", "etx", "metx", "pp", "spp")
+
+
+def _ordered(names: Sequence[str]) -> List[str]:
+    known = [name for name in _PROTOCOL_ORDER if name in names]
+    extra = sorted(set(names) - set(known))
+    return known + extra
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match headers")
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def throughput_section(
+    runs: Sequence[RunResult],
+    paper: Optional[Mapping[str, float]] = None,
+    baseline: str = "odmrp",
+) -> str:
+    """Normalized throughput with per-protocol 95 % CIs over topologies."""
+    aggregates = aggregate_runs(runs)
+    normalized = normalized_metric_table(aggregates, "throughput", baseline)
+    baseline_mean = aggregates[baseline].mean_throughput_bps
+    rows = []
+    for name in _ordered(list(aggregates)):
+        protocol_runs = [run for run in runs if run.protocol == name]
+        values = [
+            run.throughput_bps / baseline_mean for run in protocol_runs
+        ]
+        low, high = confidence_interval_95(values)
+        paper_cell = (
+            f"{paper[name]:.3f}" if paper and name in paper else "-"
+        )
+        rows.append((
+            name,
+            paper_cell,
+            f"{normalized[name]:.3f}",
+            f"[{low:.3f}, {high:.3f}]",
+            len(protocol_runs),
+        ))
+    return "### Normalized throughput\n\n" + markdown_table(
+        ("protocol", "paper", "measured", "95% CI", "runs"), rows
+    )
+
+
+def overhead_section(
+    runs: Sequence[RunResult],
+    paper: Optional[Mapping[str, float]] = None,
+) -> str:
+    aggregates = aggregate_runs(runs)
+    rows = []
+    for name in _ordered([n for n in aggregates if n != "odmrp"]):
+        paper_cell = (
+            f"{paper[name]:.2f}" if paper and name in paper else "-"
+        )
+        rows.append((
+            name,
+            paper_cell,
+            f"{aggregates[name].mean_probe_overhead_pct:.2f}",
+        ))
+    return "### Probing overhead (%)\n\n" + markdown_table(
+        ("metric", "paper", "measured"), rows
+    )
+
+
+def diagnostics_section(runs: Sequence[RunResult]) -> str:
+    """The counters that explain the results: forwarding, collisions."""
+    by_protocol: Dict[str, List[RunResult]] = {}
+    for run in runs:
+        by_protocol.setdefault(run.protocol, []).append(run)
+    rows = []
+    for name in _ordered(list(by_protocol)):
+        protocol_runs = by_protocol[name]
+
+        def avg(counter: str) -> float:
+            return mean([
+                run.counters.get(counter, 0.0) for run in protocol_runs
+            ])
+
+        rows.append((
+            name,
+            f"{mean([r.packet_delivery_ratio for r in protocol_runs]):.3f}",
+            f"{avg('odmrp.data_forwarded'):.0f}",
+            f"{avg('odmrp.data_duplicate'):.0f}",
+            f"{avg('phy.rx_failed_collision'):.0f}",
+            f"{avg('odmrp.query_forwarded'):.0f}",
+        ))
+    return "### Why: per-run mean diagnostics\n\n" + markdown_table(
+        ("protocol", "PDR", "data fwd", "dup drops", "collisions",
+         "queries fwd"),
+        rows,
+    )
+
+
+def render_report(
+    runs: Sequence[RunResult],
+    title: str = "Experiment report",
+    paper_throughput: Optional[Mapping[str, float]] = None,
+    paper_overhead: Optional[Mapping[str, float]] = None,
+) -> str:
+    """A complete markdown report for one sweep's runs."""
+    if not runs:
+        raise ValueError("no runs to report")
+    seeds = sorted({run.topology_seed for run in runs})
+    duration = runs[0].duration_s
+    header = (
+        f"# {title}\n\n"
+        f"{len(runs)} runs, {len(seeds)} topologies "
+        f"(seeds {seeds[0]}..{seeds[-1]}), {duration:.0f} s simulated each.\n"
+    )
+    sections = [
+        header,
+        throughput_section(runs, paper_throughput),
+        overhead_section(runs, paper_overhead),
+        diagnostics_section(runs),
+    ]
+    return "\n\n".join(sections) + "\n"

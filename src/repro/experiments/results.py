@@ -1,0 +1,114 @@
+"""Result records, aggregation over topologies, and normalization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.comparison import normalize_against
+
+
+@dataclass
+class RunResult:
+    """Measurements from one protocol run on one topology."""
+
+    protocol: str
+    topology_seed: int
+    duration_s: float
+    offered_packets: int
+    expected_deliveries: int
+    delivered_packets: int
+    delivered_bytes: int
+    mean_delay_s: Optional[float]
+    probe_bytes: float
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.delivered_bytes * 8.0 / self.duration_s
+
+    @property
+    def packet_delivery_ratio(self) -> float:
+        if self.expected_deliveries == 0:
+            return 0.0
+        return self.delivered_packets / self.expected_deliveries
+
+    @property
+    def probe_overhead_pct(self) -> float:
+        """Probe bytes as a percentage of data bytes received (Table 1)."""
+        if self.delivered_bytes == 0:
+            return float("inf")
+        return 100.0 * self.probe_bytes / self.delivered_bytes
+
+
+@dataclass
+class AggregateResult:
+    """Mean over topologies for one protocol."""
+
+    protocol: str
+    runs: int
+    mean_throughput_bps: float
+    mean_delivery_ratio: float
+    mean_delay_s: Optional[float]
+    mean_probe_overhead_pct: float
+
+
+def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
+    """Group per-topology runs by protocol and average them."""
+    by_protocol: Dict[str, List[RunResult]] = {}
+    for run in runs:
+        by_protocol.setdefault(run.protocol, []).append(run)
+    aggregates: Dict[str, AggregateResult] = {}
+    for protocol, protocol_runs in by_protocol.items():
+        delays = [
+            run.mean_delay_s for run in protocol_runs
+            if run.mean_delay_s is not None
+        ]
+        overheads = [
+            run.probe_overhead_pct for run in protocol_runs
+            if run.delivered_bytes > 0
+        ]
+        aggregates[protocol] = AggregateResult(
+            protocol=protocol,
+            runs=len(protocol_runs),
+            mean_throughput_bps=_mean(
+                [run.throughput_bps for run in protocol_runs]
+            ),
+            mean_delivery_ratio=_mean(
+                [run.packet_delivery_ratio for run in protocol_runs]
+            ),
+            mean_delay_s=_mean(delays) if delays else None,
+            mean_probe_overhead_pct=_mean(overheads) if overheads else 0.0,
+        )
+    return aggregates
+
+
+def normalized_metric_table(
+    aggregates: Mapping[str, AggregateResult],
+    value: str = "throughput",
+    baseline: str = "odmrp",
+) -> Dict[str, float]:
+    """Figure 2 style normalization of one column against the baseline.
+
+    ``value`` selects the column: "throughput", "delay", or "pdr".
+    """
+    extractors = {
+        "throughput": lambda agg: agg.mean_throughput_bps,
+        "pdr": lambda agg: agg.mean_delivery_ratio,
+        "delay": lambda agg: (
+            agg.mean_delay_s if agg.mean_delay_s is not None else 0.0
+        ),
+    }
+    if value not in extractors:
+        raise ValueError(
+            f"unknown column {value!r}; choose from {sorted(extractors)}"
+        )
+    extract = extractors[value]
+    values = {name: extract(agg) for name, agg in aggregates.items()}
+    return normalize_against(values, baseline)
+
+
+def _mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)

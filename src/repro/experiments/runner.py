@@ -1,0 +1,85 @@
+"""Run protocol variants across topologies and collect results.
+
+Environment knobs (read by the benchmark suite, not by this module) allow
+paper-scale runs; the functions here are pure: everything comes in via the
+config object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.experiments.results import RunResult
+from repro.experiments.scenarios import (
+    PROTOCOL_NAMES,
+    SimulationScenario,
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+ProgressCallback = Callable[[str, int], None]
+
+
+def run_protocol(
+    protocol_name: str,
+    config: Optional[SimulationScenarioConfig] = None,
+) -> RunResult:
+    """Build, run, and measure one protocol on one topology."""
+    scenario = build_simulation_scenario(protocol_name, config)
+    scenario.run()
+    return collect_result(scenario)
+
+
+def collect_result(scenario: SimulationScenario) -> RunResult:
+    """Extract a :class:`RunResult` from a finished scenario."""
+    probe_bytes = (
+        scenario.probing.probe_bytes_sent()
+        if scenario.probing is not None
+        else 0.0
+    )
+    interesting_prefixes = ("odmrp.", "phy.", "tx.", "channel.")
+    counters = {}
+    for node in scenario.network.nodes:
+        for name, value in node.counters.as_dict().items():
+            if name.startswith(interesting_prefixes):
+                counters[name] = counters.get(name, 0.0) + value
+    for name, value in scenario.network.channel.counters.as_dict().items():
+        counters[name] = counters.get(name, 0.0) + value
+    sink = scenario.sink
+    seed = getattr(
+        scenario.config, "topology_seed", None
+    )
+    if seed is None:
+        seed = getattr(scenario.config, "run_seed", 0)
+    return RunResult(
+        protocol=scenario.protocol_name,
+        topology_seed=seed,
+        duration_s=scenario.config.duration_s,
+        offered_packets=scenario.offered_packets(),
+        expected_deliveries=scenario.expected_deliveries(),
+        delivered_packets=sink.total_packets,
+        delivered_bytes=sink.total_bytes,
+        mean_delay_s=sink.mean_delay_s(),
+        probe_bytes=probe_bytes,
+        counters=counters,
+    )
+
+
+def compare_protocols(
+    config: Optional[SimulationScenarioConfig] = None,
+    protocols: Sequence[str] = PROTOCOL_NAMES,
+    topology_seeds: Iterable[int] = (1,),
+    progress: Optional[ProgressCallback] = None,
+) -> List[RunResult]:
+    """The paper's comparison loop: every protocol on every topology."""
+    if config is None:
+        config = SimulationScenarioConfig()
+    results: List[RunResult] = []
+    for seed in topology_seeds:
+        seeded = replace(config, topology_seed=seed)
+        for protocol in protocols:
+            if progress is not None:
+                progress(protocol, seed)
+            results.append(run_protocol(protocol, seeded))
+    return results

@@ -1,0 +1,13 @@
+"""Link layer: CSMA/CA with the 802.11 broadcast/unicast asymmetry.
+
+The paper's whole argument rests on how 802.11 treats multicast data:
+broadcast frames get no RTS/CTS, no ACK, and no retransmission, while
+unicast frames are acknowledged and retried.  :mod:`repro.mac.csma`
+implements both transmission services over the shared channel so the
+asymmetry is a measured property of the substrate, not an assumption.
+"""
+
+from repro.mac.csma import CsmaMac, MacConfig
+from repro.mac.frames import FrameTimings, frame_airtime_s
+
+__all__ = ["CsmaMac", "MacConfig", "FrameTimings", "frame_airtime_s"]

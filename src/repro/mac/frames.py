@@ -1,0 +1,53 @@
+"""802.11 frame timing.
+
+Timing constants follow 802.11b DSSS (the testbed's Atheros cards in b
+mode, and the 2 Mbps channel of the simulation study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MAC_DATA_HEADER_BYTES = 34  # 24 B 802.11 header + 8 B LLC/SNAP + FCS overhead
+ACK_FRAME_BYTES = 14
+
+
+@dataclass(frozen=True)
+class FrameTimings:
+    """Interframe spaces and contention parameters (802.11b DSSS)."""
+
+    slot_time_s: float = 20e-6
+    sifs_s: float = 10e-6
+    cw_min: int = 32  # backoff drawn uniformly from [0, cw)
+    cw_max: int = 1024
+    retry_limit: int = 7  # unicast long-retry limit; broadcast sends once
+
+    @property
+    def difs_s(self) -> float:
+        return self.sifs_s + 2.0 * self.slot_time_s
+
+
+def frame_airtime_s(
+    payload_bytes: int,
+    data_rate_bps: float,
+    preamble_duration_s: float = 192e-6,
+    header_bytes: int = MAC_DATA_HEADER_BYTES,
+) -> float:
+    """Time on air for one data frame.
+
+    The PLCP preamble/header goes out at the base rate (folded into
+    ``preamble_duration_s``); MAC header and payload at ``data_rate_bps``.
+    """
+    if payload_bytes < 0:
+        raise ValueError(f"payload must be non-negative, got {payload_bytes}")
+    if data_rate_bps <= 0:
+        raise ValueError(f"data rate must be positive, got {data_rate_bps}")
+    bits = (payload_bytes + header_bytes) * 8
+    return preamble_duration_s + bits / data_rate_bps
+
+
+def ack_airtime_s(
+    data_rate_bps: float, preamble_duration_s: float = 192e-6
+) -> float:
+    """Time on air for an ACK control frame."""
+    return preamble_duration_s + ACK_FRAME_BYTES * 8 / data_rate_bps

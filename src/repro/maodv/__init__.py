@@ -1,0 +1,18 @@
+"""Tree-based multicast (MAODV-like), the paper's Section 4.3 foil.
+
+ODMRP's forwarding group is per *group* and long-lived, so multiple
+sources build a redundant mesh that partially hides the baseline's bad
+path choices.  Tree-based protocols such as MAODV keep per-source tree
+state with no such redundancy, which is why the paper argues
+high-throughput metrics "continue to be effective in multicast protocols
+that are tree-based" even with many sources.
+
+:class:`~repro.maodv.protocol.MaodvRouter` reuses ODMRP's flood/reply
+machinery but replaces the forwarding rule: a node forwards data of
+(group, source) only while it is on the *newest* reply tree for that
+source, and a newer tree replaces the older one instead of accumulating.
+"""
+
+from repro.maodv.protocol import MaodvRouter
+
+__all__ = ["MaodvRouter"]

@@ -1,0 +1,44 @@
+"""Multi-radio / multi-channel extension (the paper's future work).
+
+Section 6: "We also plan to extend the high-throughput link-quality
+metrics studied in this paper for multicast routing in multi-radio /
+multi-channel mesh networks."  This package builds that extension at the
+path-selection level:
+
+* :mod:`repro.multichannel.assignment` -- radio-to-channel assignment
+  strategies over a mesh topology (single-channel, alternating, and an
+  interference-minimizing graph-coloring assignment).
+* :mod:`repro.multichannel.wcett` -- WCETT (Draves et al., MobiCom 2004)
+  and its multicast adaptation MC-WCETT: forward-only ETTs (no reverse
+  direction, as in Section 2.1) plus the channel-diversity term that
+  penalizes paths that reuse one channel for consecutive hops.
+* :mod:`repro.multichannel.study` -- a path-selection study: enumerate
+  candidate paths in sampled multi-channel meshes and measure how often
+  the channel-aware metric finds a path with a lower bottleneck-channel
+  airtime than plain ETT.
+"""
+
+from repro.multichannel.assignment import (
+    ChannelAssignment,
+    alternating_assignment,
+    coloring_assignment,
+    single_channel_assignment,
+)
+from repro.multichannel.wcett import HopEtt, mc_wcett, path_ett_sum, wcett
+from repro.multichannel.study import (
+    MultichannelStudyResult,
+    run_path_selection_study,
+)
+
+__all__ = [
+    "ChannelAssignment",
+    "single_channel_assignment",
+    "alternating_assignment",
+    "coloring_assignment",
+    "HopEtt",
+    "wcett",
+    "mc_wcett",
+    "path_ett_sum",
+    "MultichannelStudyResult",
+    "run_path_selection_study",
+]

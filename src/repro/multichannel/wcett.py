@@ -1,0 +1,85 @@
+"""WCETT and its multicast adaptation.
+
+WCETT (Weighted Cumulative ETT; Draves, Padhye, Zill -- MobiCom 2004)
+scores a path of hops with per-hop ETTs and channels as::
+
+    WCETT(p) = (1 - beta) * sum_i ETT_i  +  beta * max_j X_j
+
+where ``X_j`` is the summed ETT of the hops on channel ``j``.  The first
+term is total airtime; the second is the busiest channel's share -- the
+path's intra-flow interference bottleneck.  ``beta`` trades them off.
+
+The multicast adaptation (MC-WCETT) follows Section 2 of the paper:
+per-hop ETTs are *forward-only* (broadcast data is unacknowledged, so
+the reverse direction must not contribute), exactly as the paper's ETT
+adaptation does for the single-channel case.  Structurally the
+difference from unicast WCETT is in how the per-hop ETT is measured, not
+in the combination rule, so both share the same path algebra here.
+
+Unlike the five single-channel metrics, WCETT cannot be folded
+hop-by-hop into one scalar (the ``max_j`` needs per-channel sums), so
+these are *path-level* functions over explicit hop lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True)
+class HopEtt:
+    """One hop of a multi-channel path."""
+
+    ett_s: float
+    channel: int
+
+    def __post_init__(self) -> None:
+        if self.ett_s < 0:
+            raise ValueError(f"ETT must be non-negative, got {self.ett_s}")
+        if self.channel < 0:
+            raise ValueError(f"channel must be non-negative, got {self.channel}")
+
+
+def path_ett_sum(hops: Sequence[HopEtt]) -> float:
+    """Plain (channel-blind) ETT path cost: the paper's single-channel ETT."""
+    return sum(hop.ett_s for hop in hops)
+
+
+def per_channel_airtime(hops: Sequence[HopEtt]) -> Dict[int, float]:
+    """``X_j``: summed ETT per channel along the path."""
+    totals: Dict[int, float] = {}
+    for hop in hops:
+        totals[hop.channel] = totals.get(hop.channel, 0.0) + hop.ett_s
+    return totals
+
+
+def bottleneck_channel_airtime(hops: Sequence[HopEtt]) -> float:
+    """``max_j X_j``: the intra-flow interference bottleneck."""
+    if not hops:
+        return 0.0
+    return max(per_channel_airtime(hops).values())
+
+
+def wcett(hops: Sequence[HopEtt], beta: float = 0.5) -> float:
+    """Unicast WCETT path cost (lower is better)."""
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    return (1.0 - beta) * path_ett_sum(hops) + beta * bottleneck_channel_airtime(
+        hops
+    )
+
+
+def mc_wcett(
+    hops: Sequence[HopEtt],
+    beta: float = 0.5,
+) -> float:
+    """Multicast WCETT: identical combination over forward-only hop ETTs.
+
+    Callers must supply hop ETTs measured the multicast way --
+    ``(S / B) / df`` with *forward* delivery ratio only (see
+    :class:`repro.core.metrics.EttMetric`).  The function is provided
+    separately from :func:`wcett` so call sites document which
+    measurement convention their ETTs follow.
+    """
+    return wcett(hops, beta)

@@ -1,0 +1,34 @@
+"""Network substrate: packets, nodes, the shared wireless channel, topology.
+
+* :mod:`repro.net.packet` -- packet model and kinds.
+* :mod:`repro.net.topology` -- node placement generators.
+* :mod:`repro.net.channel` -- the shared broadcast medium.
+* :mod:`repro.net.node` -- a mesh router: radio + MAC + protocol dispatch.
+* :mod:`repro.net.network` -- wiring helper that assembles a whole network.
+"""
+
+from repro.net.channel import Transmission, WirelessChannel
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import Node, BROADCAST_ID
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import (
+    Position,
+    chain_topology,
+    grid_topology,
+    random_topology,
+)
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "Node",
+    "BROADCAST_ID",
+    "WirelessChannel",
+    "Transmission",
+    "Network",
+    "NetworkConfig",
+    "Position",
+    "random_topology",
+    "grid_topology",
+    "chain_topology",
+]

@@ -1,0 +1,207 @@
+"""The shared wireless broadcast medium.
+
+Every transmission is visible to every node whose *mean* received power
+clears an audibility cutoff (precomputed once -- nodes are static, per the
+mesh-network setting).  For each audible node the channel samples one
+fading realization, feeds the power into that node's carrier-sense and
+interference bookkeeping, and registers a pending reception if the faded
+power is decodable.  At end of transmission each pending reception is
+decided by the receiver's SINR rule.
+
+Subclasses can override :meth:`_sampled_power` to replace the
+pathloss-times-fading model; the testbed emulation uses this to drive the
+same MAC with empirically measured link loss rates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.phy.fading import FadingModel, NoFading
+from repro.phy.propagation import PropagationModel, TwoRayGroundPropagation
+from repro.phy.reception import Reception
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.trace import CounterSet
+
+
+class Transmission:
+    """One frame in flight."""
+
+    __slots__ = ("sender_id", "packet", "dest_id", "start_time", "end_time",
+                 "touched", "notify_sender", "sender")
+
+    def __init__(
+        self,
+        sender: Node,
+        packet: Packet,
+        dest_id: int,
+        start_time: float,
+        end_time: float,
+        notify_sender: bool,
+    ) -> None:
+        self.sender = sender
+        self.sender_id = sender.node_id
+        self.packet = packet
+        self.dest_id = dest_id
+        self.start_time = start_time
+        self.end_time = end_time
+        self.notify_sender = notify_sender
+        self.touched: List[Node] = []
+
+
+class ChannelError(RuntimeError):
+    """Raised on physically impossible requests (double transmission)."""
+
+
+class WirelessChannel:
+    """Shared medium connecting a set of static nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: Optional[PropagationModel] = None,
+        fading: Optional[FadingModel] = None,
+        audible_margin_db: float = 10.0,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation or TwoRayGroundPropagation()
+        self.fading = fading or NoFading()
+        self.audible_margin_linear = 10.0 ** (audible_margin_db / 10.0)
+        self.nodes: List[Node] = []
+        self.counters = CounterSet()
+        self._audible: Dict[int, List[Tuple[Node, float]]] = {}
+        self._fading_rng = sim.rng.stream("phy.fading")
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def register_node(self, node: Node) -> None:
+        if self._finalized:
+            raise ChannelError("cannot add nodes after finalize()")
+        node.channel = self
+        self.nodes.append(node)
+
+    def finalize(self) -> None:
+        """Precompute per-sender audibility lists (static topology)."""
+        self._audible = {}
+        for sender in self.nodes:
+            audible: List[Tuple[Node, float]] = []
+            for receiver in self.nodes:
+                if receiver is sender:
+                    continue
+                mean_mw = self.mean_rx_power_mw(sender, receiver)
+                cutoff = (
+                    receiver.params.carrier_sense_threshold_mw
+                    / self.audible_margin_linear
+                )
+                if mean_mw >= cutoff:
+                    audible.append((receiver, mean_mw))
+            self._audible[sender.node_id] = audible
+        self._finalized = True
+
+    def mean_rx_power_mw(self, sender: Node, receiver: Node) -> float:
+        """Mean (un-faded) received power for the sender->receiver link."""
+        return self.propagation.rx_power_mw(
+            sender.params.tx_power_mw,
+            sender.distance_to(receiver),
+            sender.params.antenna_gain,
+            receiver.params.antenna_gain,
+        )
+
+    def audible_neighbors(self, node_id: int) -> List[Tuple[Node, float]]:
+        """(neighbor, mean power) pairs audible from ``node_id``."""
+        return self._audible[node_id]
+
+    # ------------------------------------------------------------------
+    # Transmission lifecycle (called by the MAC)
+
+    def begin_transmission(
+        self,
+        sender: Node,
+        packet: Packet,
+        dest_id: int,
+        duration_s: float,
+        notify_sender: bool = True,
+    ) -> Optional[Transmission]:
+        if not self._finalized:
+            raise ChannelError("channel not finalized; call finalize() first")
+        if sender.transmitting:
+            if notify_sender:
+                raise ChannelError(
+                    f"node {sender.node_id} attempted concurrent transmissions"
+                )
+            # Control frame (ACK) collided with own ongoing tx: drop.
+            self.counters.add("channel.ack_dropped_half_duplex")
+            return None
+        if not sender.active:
+            # Radio is down: the frame evaporates, but the MAC must keep
+            # cycling, so complete the "transmission" after the airtime.
+            self.counters.add("channel.tx_dropped_node_down")
+            if notify_sender:
+                self.sim.schedule(
+                    duration_s,
+                    sender.mac.on_tx_complete,
+                    priority=EventPriority.PHY,
+                )
+            return None
+        now = self.sim.now
+        tx = Transmission(sender, packet, dest_id, now, now + duration_s,
+                          notify_sender)
+        self.counters.add(f"channel.tx.{packet.kind.value}")
+        sender.phy_begin_own_tx()
+        for receiver, mean_mw in self._audible[sender.node_id]:
+            if not receiver.active:
+                continue
+            power_mw = self._sampled_power(sender, receiver, mean_mw)
+            if power_mw <= 0.0:
+                continue
+            receiver.phy_add_power(tx, power_mw)
+            tx.touched.append(receiver)
+            if (
+                not receiver.transmitting
+                and power_mw >= receiver.params.rx_threshold_mw
+            ):
+                reception = Reception(
+                    tx, receiver.node_id, power_mw, now, tx.end_time
+                )
+                receiver.phy_start_reception(reception)
+        self.sim.schedule(
+            duration_s, self._end_transmission, tx, priority=EventPriority.PHY
+        )
+        return tx
+
+    def _sampled_power(
+        self, sender: Node, receiver: Node, mean_mw: float
+    ) -> float:
+        """Fading-sampled instantaneous power for this packet on this link."""
+        gain = self.fading.sample_link_gain(
+            (sender.node_id, receiver.node_id), self.sim.now, self._fading_rng
+        )
+        return mean_mw * gain
+
+    def _end_transmission(self, tx: Transmission) -> None:
+        tx.sender.phy_end_own_tx()
+        for receiver in tx.touched:
+            receiver.phy_remove_power(tx)
+        for receiver in tx.touched:
+            receiver.phy_finish_reception(tx, tx.dest_id)
+        if tx.notify_sender:
+            tx.sender.mac.on_tx_complete()
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+
+    def connectivity_map(self) -> Dict[int, List[int]]:
+        """node -> neighbors whose mean power clears the receive threshold."""
+        result: Dict[int, List[int]] = {}
+        for sender in self.nodes:
+            result[sender.node_id] = [
+                receiver.node_id
+                for receiver, mean_mw in self._audible[sender.node_id]
+                if mean_mw >= receiver.params.rx_threshold_mw
+            ]
+        return result

@@ -1,0 +1,115 @@
+"""Node placement generators.
+
+The paper's simulation scenario places 50 static nodes uniformly at random
+in a 1000 m x 1000 m area.  ``random_topology`` reproduces that, with an
+optional connectivity constraint (a disconnected topology would make
+throughput comparisons meaningless, and the paper's results average over
+topologies where every receiver is reachable).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, NamedTuple, Optional, Sequence
+
+
+class Position(NamedTuple):
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+def random_topology(
+    num_nodes: int,
+    width_m: float = 1000.0,
+    height_m: float = 1000.0,
+    rng: Optional[random.Random] = None,
+    connectivity_range_m: Optional[float] = 250.0,
+    max_attempts: int = 200,
+) -> List[Position]:
+    """Uniform random placement, resampled until connected.
+
+    Connectivity is checked on the unit-disk graph with radius
+    ``connectivity_range_m`` (the nominal no-fading radio range).  Pass
+    ``None`` to skip the check.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"need at least one node, got {num_nodes}")
+    if rng is None:
+        rng = random.Random(0)
+    for _ in range(max_attempts):
+        positions = [
+            Position(rng.uniform(0.0, width_m), rng.uniform(0.0, height_m))
+            for _ in range(num_nodes)
+        ]
+        if connectivity_range_m is None or is_connected(
+            positions, connectivity_range_m
+        ):
+            return positions
+    raise RuntimeError(
+        f"could not draw a connected topology of {num_nodes} nodes in "
+        f"{width_m}x{height_m} m with range {connectivity_range_m} m "
+        f"after {max_attempts} attempts"
+    )
+
+
+def grid_topology(
+    rows: int, cols: int, spacing_m: float = 200.0
+) -> List[Position]:
+    """Regular grid, used by tests and the quickstart example."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    return [
+        Position(c * spacing_m, r * spacing_m)
+        for r in range(rows)
+        for c in range(cols)
+    ]
+
+
+def chain_topology(num_nodes: int, spacing_m: float = 200.0) -> List[Position]:
+    """Nodes on a line; the canonical multi-hop unit test topology."""
+    if num_nodes <= 0:
+        raise ValueError("need at least one node")
+    return [Position(i * spacing_m, 0.0) for i in range(num_nodes)]
+
+
+def neighbors_within(
+    positions: Sequence[Position], index: int, range_m: float
+) -> List[int]:
+    """Indices of nodes within ``range_m`` of node ``index`` (excl. itself)."""
+    center = positions[index]
+    return [
+        i
+        for i, pos in enumerate(positions)
+        if i != index and center.distance_to(pos) <= range_m
+    ]
+
+
+def is_connected(positions: Sequence[Position], range_m: float) -> bool:
+    """True if the unit-disk graph over ``positions`` is connected."""
+    n = len(positions)
+    if n <= 1:
+        return True
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        current = frontier.pop()
+        for other in neighbors_within(positions, current, range_m):
+            if other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return len(seen) == n
+
+
+def average_degree(positions: Sequence[Position], range_m: float) -> float:
+    """Mean unit-disk degree; a quick density diagnostic for scenarios."""
+    if not positions:
+        return 0.0
+    total = sum(
+        len(neighbors_within(positions, i, range_m))
+        for i in range(len(positions))
+    )
+    return total / len(positions)

@@ -1,0 +1,34 @@
+"""ODMRP (On-Demand Multicast Routing Protocol) and its metric-enhanced form.
+
+:class:`~repro.odmrp.protocol.OdmrpRouter` implements both variants from
+the paper's Section 3:
+
+* **Original ODMRP** (``metric=None``): sources flood periodic JOIN
+  QUERY packets; each node forwards the *first* copy it sees, members
+  reply immediately, and forwarding-group state follows the JOIN REPLY
+  chain back to the source.  The path that wins is whichever query
+  arrived first -- usually the shortest-hop path of long, lossy links.
+* **Metric-enhanced ODMRP** (``metric=<RouteMetric>``): JOIN QUERY
+  packets accumulate a path cost from each hop's NEIGHBOR_TABLE; members
+  wait ``delta`` to collect duplicate queries and reply along the best
+  one; intermediate nodes re-forward cost-improving duplicates for
+  ``alpha`` (< delta) after their first reception.
+"""
+
+from repro.odmrp.config import OdmrpConfig
+from repro.odmrp.messages import (
+    DataPayload,
+    JoinQueryPayload,
+    JoinReplyEntry,
+    JoinReplyPayload,
+)
+from repro.odmrp.protocol import OdmrpRouter
+
+__all__ = [
+    "OdmrpConfig",
+    "OdmrpRouter",
+    "JoinQueryPayload",
+    "JoinReplyPayload",
+    "JoinReplyEntry",
+    "DataPayload",
+]

@@ -1,0 +1,53 @@
+"""ODMRP protocol constants.
+
+Defaults follow the paper's simulation setup: ``delta = 30 ms`` and
+``alpha = 20 ms`` (Section 4.1), a 3 s route-refresh interval and a
+forwarding-group lifetime of three refresh rounds (the values used by the
+original ODMRP literature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OdmrpConfig:
+    """Tunable protocol parameters."""
+
+    #: Interval between JOIN QUERY floods from an active source.
+    refresh_interval_s: float = 3.0
+    #: Forwarding-group flag lifetime; 3x refresh, per the ODMRP papers.
+    fg_timeout_s: float = 9.0
+    #: Member wait before answering the best JOIN QUERY (paper: 30 ms).
+    delta_s: float = 0.030
+    #: Duplicate-query forwarding window at intermediate nodes (20 ms).
+    alpha_s: float = 0.020
+    #: Max random delay before rebroadcasting a JOIN QUERY (flood jitter).
+    query_jitter_s: float = 0.008
+    #: Max random delay before sending a JOIN REPLY.
+    reply_jitter_s: float = 0.004
+    #: Network-layer size of a JOIN QUERY packet.
+    query_size_bytes: int = 36
+    #: Base size of a JOIN REPLY plus per-entry increment.
+    reply_base_size_bytes: int = 28
+    reply_entry_size_bytes: int = 12
+
+    def __post_init__(self) -> None:
+        if self.refresh_interval_s <= 0:
+            raise ValueError("refresh interval must be positive")
+        if self.fg_timeout_s < self.refresh_interval_s:
+            raise ValueError(
+                "forwarding-group timeout shorter than one refresh round "
+                "would tear the mesh down between floods"
+            )
+        if self.delta_s <= 0 or self.alpha_s <= 0:
+            raise ValueError("delta and alpha must be positive")
+        if self.alpha_s >= self.delta_s:
+            raise ValueError(
+                "alpha must be smaller than delta: members must outwait "
+                "the duplicate-forwarding window (Section 3.1)"
+            )
+
+    def reply_size_bytes(self, num_entries: int) -> int:
+        return self.reply_base_size_bytes + self.reply_entry_size_bytes * num_entries

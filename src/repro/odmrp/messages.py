@@ -1,0 +1,62 @@
+"""ODMRP wire formats (as payload dataclasses).
+
+``JoinQueryPayload.path_cost`` is the accumulated metric value of the path
+the query has traveled so far, in the metric's own units and orientation;
+original ODMRP ignores it.  ``prev_hop`` is rewritten at every hop so the
+receiver knows which NEIGHBOR_TABLE entry to charge for the last link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class JoinQueryPayload:
+    """One hop's view of a JOIN QUERY flood."""
+
+    group_id: int
+    source_id: int
+    sequence: int  # per-source flood round
+    prev_hop: int  # rewritten at each forwarding hop
+    hop_count: int
+    path_cost: float  # accumulated metric cost source -> prev_hop -> me
+
+    def forwarded(self, prev_hop: int, path_cost: float) -> "JoinQueryPayload":
+        """The payload as rebroadcast by ``prev_hop``."""
+        return JoinQueryPayload(
+            group_id=self.group_id,
+            source_id=self.source_id,
+            sequence=self.sequence,
+            prev_hop=prev_hop,
+            hop_count=self.hop_count + 1,
+            path_cost=path_cost,
+        )
+
+
+@dataclass(frozen=True)
+class JoinReplyEntry:
+    """One (source, next hop) row of a JOIN TABLE."""
+
+    source_id: int
+    sequence: int
+    next_hop: int
+
+
+@dataclass(frozen=True)
+class JoinReplyPayload:
+    """A JOIN REPLY: the sender's JOIN TABLE for one group."""
+
+    group_id: int
+    sender_id: int
+    entries: Tuple[JoinReplyEntry, ...]
+
+
+@dataclass(frozen=True)
+class DataPayload:
+    """Multicast data identification (dedup key and delay accounting)."""
+
+    group_id: int
+    source_id: int
+    sequence: int

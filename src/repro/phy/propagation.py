@@ -1,0 +1,141 @@
+"""Deterministic path-loss models.
+
+All models compute mean received power in milliwatts given transmit power
+and a link distance; fading (the random part) is layered on top by
+:mod:`repro.phy.fading`.  The TwoRayGround model follows the standard
+GloMoSim / ns-2 formulation: free-space up to the crossover distance, then
+the fourth-power ground-reflection law.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+
+class PropagationModel(ABC):
+    """Mean-power path loss as a function of distance."""
+
+    @abstractmethod
+    def rx_power_mw(
+        self,
+        tx_power_mw: float,
+        distance_m: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> float:
+        """Mean received power in mW over a link of the given length."""
+
+    def gain(self, distance_m: float) -> float:
+        """Channel power gain (rx power / tx power) with unit antennas."""
+        return self.rx_power_mw(1.0, distance_m)
+
+
+class FreeSpacePropagation(PropagationModel):
+    """Friis free-space model: ``Pr = Pt Gt Gr (lambda / 4 pi d)^2``."""
+
+    def __init__(self, frequency_hz: float = 2.4e9) -> None:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        self.frequency_hz = frequency_hz
+        self.wavelength_m = SPEED_OF_LIGHT / frequency_hz
+
+    def rx_power_mw(
+        self,
+        tx_power_mw: float,
+        distance_m: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> float:
+        if distance_m <= 0:
+            return tx_power_mw * tx_gain * rx_gain
+        factor = self.wavelength_m / (4.0 * math.pi * distance_m)
+        return tx_power_mw * tx_gain * rx_gain * factor * factor
+
+
+class TwoRayGroundPropagation(PropagationModel):
+    """Two-ray ground-reflection model (GloMoSim's ``TWO-RAY``).
+
+    Below the crossover distance ``dc = 4 pi ht hr / lambda`` the model
+    reduces to free space; beyond it the direct and ground-reflected rays
+    interfere destructively and power falls off as ``d^-4``:
+
+        ``Pr = Pt Gt Gr ht^2 hr^2 / d^4``
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 2.4e9,
+        tx_antenna_height_m: float = 1.5,
+        rx_antenna_height_m: float = 1.5,
+    ) -> None:
+        if tx_antenna_height_m <= 0 or rx_antenna_height_m <= 0:
+            raise ValueError("antenna heights must be positive")
+        self.frequency_hz = frequency_hz
+        self.tx_antenna_height_m = tx_antenna_height_m
+        self.rx_antenna_height_m = rx_antenna_height_m
+        self._free_space = FreeSpacePropagation(frequency_hz)
+        self.crossover_distance_m = (
+            4.0
+            * math.pi
+            * tx_antenna_height_m
+            * rx_antenna_height_m
+            / self._free_space.wavelength_m
+        )
+
+    def rx_power_mw(
+        self,
+        tx_power_mw: float,
+        distance_m: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> float:
+        if distance_m < self.crossover_distance_m:
+            return self._free_space.rx_power_mw(
+                tx_power_mw, distance_m, tx_gain, rx_gain
+            )
+        ht2 = self.tx_antenna_height_m * self.tx_antenna_height_m
+        hr2 = self.rx_antenna_height_m * self.rx_antenna_height_m
+        d2 = distance_m * distance_m
+        return tx_power_mw * tx_gain * rx_gain * ht2 * hr2 / (d2 * d2)
+
+
+class LogDistancePropagation(PropagationModel):
+    """Log-distance model: free space to ``d0``, exponent ``n`` beyond.
+
+    Used by the testbed emulation, where office walls make the effective
+    exponent larger than free space.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 2.4e9,
+        reference_distance_m: float = 1.0,
+        path_loss_exponent: float = 3.0,
+    ) -> None:
+        if reference_distance_m <= 0:
+            raise ValueError("reference distance must be positive")
+        if path_loss_exponent < 2.0:
+            raise ValueError("path-loss exponent below free space (2.0)")
+        self.reference_distance_m = reference_distance_m
+        self.path_loss_exponent = path_loss_exponent
+        self._free_space = FreeSpacePropagation(frequency_hz)
+
+    def rx_power_mw(
+        self,
+        tx_power_mw: float,
+        distance_m: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> float:
+        d0 = self.reference_distance_m
+        reference_power = self._free_space.rx_power_mw(
+            tx_power_mw, d0, tx_gain, rx_gain
+        )
+        if distance_m <= d0:
+            return self._free_space.rx_power_mw(
+                tx_power_mw, distance_m, tx_gain, rx_gain
+            )
+        return reference_power * (d0 / distance_m) ** self.path_loss_exponent

@@ -1,0 +1,118 @@
+"""Radio parameter sets and power-unit helpers.
+
+Defaults reproduce the paper's simulation setup: 2 Mbps channel (the
+802.11 broadcast basic rate), 250 m nominal range under two-ray
+propagation, omnidirectional unit-gain antennas at 1.5 m.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.phy.propagation import PropagationModel
+
+BOLTZMANN_NOISE_DBM_PER_HZ = -174.0  # thermal noise density at ~290 K
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm (-inf for zero power)."""
+    if mw <= 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(mw)
+
+
+def thermal_noise_mw(bandwidth_hz: float, noise_figure_db: float = 10.0) -> float:
+    """Thermal noise power over ``bandwidth_hz`` plus receiver noise figure."""
+    noise_dbm = (
+        BOLTZMANN_NOISE_DBM_PER_HZ
+        + 10.0 * math.log10(bandwidth_hz)
+        + noise_figure_db
+    )
+    return dbm_to_mw(noise_dbm)
+
+
+@dataclass
+class RadioParams:
+    """Parameters of one radio interface.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Transmit power.  15 dBm is GloMoSim's default.
+    data_rate_bps:
+        Payload bit rate; the paper uses 2 Mbps, the 802.11 broadcast rate.
+    rx_threshold_dbm:
+        Sensitivity: packets arriving below this mean power cannot be
+        received.  Calibrated by :func:`calibrate_rx_threshold_dbm` so the
+        no-fading range is exactly the paper's 250 m.
+    carrier_sense_threshold_dbm:
+        Energy level at which the medium is sensed busy; conventionally
+        ~10 dB below the receive threshold (senses farther than it decodes).
+    sinr_threshold_db:
+        Minimum signal-to-interference-plus-noise ratio for capture.
+    """
+
+    tx_power_dbm: float = 15.0
+    frequency_hz: float = 2.4e9
+    data_rate_bps: float = 2_000_000.0
+    bandwidth_hz: float = 22e6
+    antenna_gain: float = 1.0
+    antenna_height_m: float = 1.5
+    rx_threshold_dbm: float = -74.0
+    carrier_sense_threshold_dbm: float = -84.0
+    sinr_threshold_db: float = 10.0
+    noise_figure_db: float = 10.0
+    preamble_duration_s: float = 192e-6  # 802.11b long preamble + PLCP
+
+    noise_mw: float = field(init=False)
+    tx_power_mw: float = field(init=False)
+    rx_threshold_mw: float = field(init=False)
+    carrier_sense_threshold_mw: float = field(init=False)
+    sinr_threshold_linear: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._refresh_derived()
+
+    def _refresh_derived(self) -> None:
+        self.noise_mw = thermal_noise_mw(self.bandwidth_hz, self.noise_figure_db)
+        self.tx_power_mw = dbm_to_mw(self.tx_power_dbm)
+        self.rx_threshold_mw = dbm_to_mw(self.rx_threshold_dbm)
+        self.carrier_sense_threshold_mw = dbm_to_mw(
+            self.carrier_sense_threshold_dbm
+        )
+        self.sinr_threshold_linear = 10.0 ** (self.sinr_threshold_db / 10.0)
+
+    def set_rx_threshold_dbm(self, value: float, cs_margin_db: float = 10.0) -> None:
+        """Set the receive threshold and keep carrier sense ``cs_margin_db``
+        below it."""
+        self.rx_threshold_dbm = value
+        self.carrier_sense_threshold_dbm = value - cs_margin_db
+        self._refresh_derived()
+
+
+def calibrate_rx_threshold_dbm(
+    propagation: PropagationModel,
+    params: RadioParams,
+    target_range_m: float = 250.0,
+) -> float:
+    """Receive threshold making the no-fading range exactly ``target_range_m``.
+
+    A packet sent at ``params.tx_power_dbm`` arrives exactly at threshold
+    from ``target_range_m`` away; any farther and it cannot be decoded
+    even on a clear channel.
+    """
+    if target_range_m <= 0:
+        raise ValueError(f"target range must be positive, got {target_range_m}")
+    rx_mw = propagation.rx_power_mw(
+        params.tx_power_mw,
+        target_range_m,
+        params.antenna_gain,
+        params.antenna_gain,
+    )
+    return mw_to_dbm(rx_mw)

@@ -1,0 +1,35 @@
+"""Link-quality measurement by periodic probing.
+
+All metrics in the paper are driven by receiver-side measurements of
+periodic broadcast probes (Section 2.2):
+
+* ETX / METX / SPP use a single small broadcast probe every 5 s; the
+  receiver estimates the forward delivery ratio ``df`` over a sliding
+  window (:mod:`repro.probing.broadcast_probe`).
+* PP / ETT use a back-to-back packet pair every 10 s; the receiver keeps
+  an EWMA of the pair inter-arrival (90 % history / 10 % new) with a 20 %
+  penalty whenever either packet of a pair is lost, plus a bandwidth
+  estimate for ETT (:mod:`repro.probing.packet_pair`).
+
+Each node's measurements live in its NEIGHBOR_TABLE
+(:mod:`repro.probing.neighbor_table`), which ODMRP consults for the cost
+of the link a JOIN QUERY arrived on.  :mod:`repro.probing.manager` wires
+probers to nodes and applies the probing-rate multipliers used by the
+overhead-sensitivity experiments.
+"""
+
+from repro.probing.broadcast_probe import BroadcastProbeAgent, LossRatioEstimator
+from repro.probing.manager import ProbingConfig, ProbingManager, prober_kind_for_metric
+from repro.probing.neighbor_table import NeighborTable
+from repro.probing.packet_pair import PacketPairAgent, PacketPairEstimator
+
+__all__ = [
+    "NeighborTable",
+    "LossRatioEstimator",
+    "BroadcastProbeAgent",
+    "PacketPairEstimator",
+    "PacketPairAgent",
+    "ProbingConfig",
+    "ProbingManager",
+    "prober_kind_for_metric",
+]

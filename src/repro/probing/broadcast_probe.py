@@ -1,0 +1,133 @@
+"""ETX-style broadcast probing and sliding-window loss estimation.
+
+Every node broadcasts one small probe per interval (the paper uses 5 s for
+ETX-family metrics).  Each receiver estimates the *forward* delivery ratio
+``df`` of the sender->receiver link as::
+
+    df = probes received in the last W seconds / probes expected in W
+
+with ``W = window_intervals * interval`` (the De Couto ETX estimator).
+Only the forward direction is measured -- broadcast data has no ACKs, so
+reverse quality is deliberately ignored (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTask
+
+
+@dataclass
+class ProbePayload:
+    """Contents of a broadcast probe."""
+
+    sender_id: int
+    sequence: int
+    interval_s: float
+
+
+class LossRatioEstimator:
+    """Sliding-window forward-delivery-ratio estimator for one link."""
+
+    def __init__(self, window_intervals: int = 10) -> None:
+        if window_intervals <= 0:
+            raise ValueError("window must cover at least one interval")
+        self.window_intervals = window_intervals
+        self._received_times: Deque[float] = deque()
+        self._first_heard: Optional[float] = None
+        self._interval_s: Optional[float] = None
+
+    def note_received(self, now: float, interval_s: float) -> None:
+        """Record one received probe (interval carried in the probe)."""
+        if interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        if self._first_heard is None:
+            self._first_heard = now
+        self._interval_s = interval_s
+        self._received_times.append(now)
+        self._expire(now)
+
+    def delivery_ratio(self, now: float) -> float:
+        """Current ``df`` estimate in [0, 1]; 0 before any probe is heard.
+
+        The expected count ramps up from the first probe heard, so a
+        freshly discovered link is not unfairly scored against a full
+        window it never had the chance to fill.
+        """
+        if self._first_heard is None or self._interval_s is None:
+            return 0.0
+        self._expire(now)
+        window_s = self.window_intervals * self._interval_s
+        observed_span = min(window_s, now - self._first_heard + self._interval_s)
+        expected = max(1.0, observed_span / self._interval_s)
+        ratio = len(self._received_times) / expected
+        return min(1.0, ratio)
+
+    def _expire(self, now: float) -> None:
+        assert self._interval_s is not None
+        horizon = now - self.window_intervals * self._interval_s
+        received = self._received_times
+        while received and received[0] <= horizon:
+            received.popleft()
+
+
+class BroadcastProbeAgent:
+    """Sender side: periodically broadcast one probe.
+
+    Receiver-side handling lives in
+    :class:`repro.probing.neighbor_table.NeighborTable`, which owns the
+    per-neighbor estimators.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        interval_s: float = 5.0,
+        probe_size_bytes: int = 32,
+        jitter: float = 0.1,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        self.sim = sim
+        self.node = node
+        self.interval_s = interval_s
+        self.probe_size_bytes = probe_size_bytes
+        self._sequence = 0
+        self._task = PeriodicTask(
+            sim,
+            interval_s,
+            self._send_probe,
+            jitter=jitter,
+            rng=sim.rng.stream(f"probe.broadcast.{node.node_id}"),
+        )
+
+    def start(self) -> None:
+        # Stagger the first probe inside one interval so the network's
+        # probes are unsynchronized, as in a real deployment.
+        rng = self.sim.rng.stream(f"probe.broadcast.start.{self.node.node_id}")
+        self._task.start(initial_delay=rng.uniform(0.0, self.interval_s))
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _send_probe(self) -> None:
+        self._sequence += 1
+        packet = Packet(
+            kind=PacketKind.PROBE,
+            origin=self.node.node_id,
+            size_bytes=self.probe_size_bytes,
+            created_at=self.sim.now,
+            payload=ProbePayload(
+                sender_id=self.node.node_id,
+                sequence=self._sequence,
+                interval_s=self.interval_s,
+            ),
+        )
+        self.node.send_broadcast(packet)

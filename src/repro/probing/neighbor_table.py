@@ -1,0 +1,110 @@
+"""The per-node NEIGHBOR_TABLE (Section 3.1).
+
+Each node records the measured cost of the link *from* each neighbor *to
+itself* -- the forward direction of data that will flow through that
+neighbor.  When a JOIN QUERY arrives, ODMRP looks up the cost of the link
+it arrived on and folds it into the query's accumulated path cost.
+
+The table is fed by the probe receive path: it registers handlers for the
+probe packet kinds on its node and owns one estimator per neighbor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.metrics import LinkQuality, RouteMetric
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.probing.broadcast_probe import LossRatioEstimator, ProbePayload
+from repro.probing.packet_pair import PacketPairEstimator, PairProbePayload
+from repro.sim.engine import Simulator
+
+
+class NeighborTable:
+    """Receiver-side link-quality state for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        window_intervals: int = 10,
+        ewma_history_weight: float = 0.9,
+        loss_penalty_factor: float = 1.2,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.window_intervals = window_intervals
+        self.ewma_history_weight = ewma_history_weight
+        self.loss_penalty_factor = loss_penalty_factor
+        self._loss: Dict[int, LossRatioEstimator] = {}
+        self._pairs: Dict[int, PacketPairEstimator] = {}
+        node.register_handler(PacketKind.PROBE, self._on_probe)
+        node.register_handler(PacketKind.PROBE_PAIR_SMALL, self._on_pair_probe)
+        node.register_handler(PacketKind.PROBE_PAIR_LARGE, self._on_pair_probe)
+
+    # ------------------------------------------------------------------
+    # Probe reception
+
+    def _on_probe(self, packet: Packet, sender_id: int, rx_power_mw: float) -> None:
+        payload: ProbePayload = packet.payload
+        estimator = self._loss.get(sender_id)
+        if estimator is None:
+            estimator = LossRatioEstimator(self.window_intervals)
+            self._loss[sender_id] = estimator
+        estimator.note_received(self.sim.now, payload.interval_s)
+
+    def _on_pair_probe(
+        self, packet: Packet, sender_id: int, rx_power_mw: float
+    ) -> None:
+        payload: PairProbePayload = packet.payload
+        estimator = self._pairs.get(sender_id)
+        if estimator is None:
+            estimator = PacketPairEstimator(
+                self.ewma_history_weight,
+                self.loss_penalty_factor,
+                self.window_intervals,
+            )
+            self._pairs[sender_id] = estimator
+        if payload.is_large:
+            estimator.note_large(
+                payload.sequence,
+                self.sim.now,
+                payload.interval_s,
+                payload.large_size_bytes,
+            )
+        else:
+            estimator.note_small(payload.sequence, self.sim.now, payload.interval_s)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def neighbors(self) -> list[int]:
+        """Every neighbor any probe has been heard from."""
+        return sorted(set(self._loss) | set(self._pairs))
+
+    def link_quality(self, neighbor_id: int) -> LinkQuality:
+        """Current quality of the ``neighbor -> self`` link."""
+        now = self.sim.now
+        loss_estimator = self._loss.get(neighbor_id)
+        pair_estimator = self._pairs.get(neighbor_id)
+        if loss_estimator is not None:
+            df = loss_estimator.delivery_ratio(now)
+        elif pair_estimator is not None:
+            df = pair_estimator.delivery_ratio(now)
+        else:
+            df = 0.0
+        delay: Optional[float] = None
+        bandwidth: Optional[float] = None
+        if pair_estimator is not None:
+            delay = pair_estimator.effective_delay_s(now)
+            bandwidth = pair_estimator.bandwidth_bps()
+        return LinkQuality(
+            forward_delivery_ratio=df,
+            packet_pair_delay_s=delay,
+            bandwidth_bps=bandwidth,
+        )
+
+    def link_cost(self, neighbor_id: int, metric: RouteMetric) -> float:
+        """Metric cost of the ``neighbor -> self`` link."""
+        return metric.link_cost(self.link_quality(neighbor_id))

@@ -1,0 +1,227 @@
+"""Packet-pair probing for the PP and ETT metrics.
+
+Sender side: every interval (the paper uses 10 s) a node broadcasts two
+probes back-to-back -- one small, one large.  Receiver side, per link:
+
+* **delay**: the small->large inter-arrival is EWMA-smoothed with 90 %
+  weight on history and 10 % on the new sample (the paper's weights);
+* **loss penalty**: whenever either packet of a pair is lost, the EWMA is
+  multiplied by 1.2 (the paper's 20 % penalty).  On a persistently lossy
+  link the penalty compounds every interval, so the link cost grows
+  exponentially with time -- the behaviour the paper credits for PP's
+  aggressive avoidance of lossy links;
+* **bandwidth** (ETT): ``large_bytes * 8 / inter-arrival``, EWMA-smoothed;
+* **df** (ETT): the small probes double as loss-ratio probes, feeding a
+  sliding-window estimator exactly like the ETX prober.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.probing.broadcast_probe import LossRatioEstimator
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTask
+
+
+@dataclass
+class PairProbePayload:
+    """Contents of one half of a packet pair."""
+
+    sender_id: int
+    sequence: int
+    interval_s: float
+    is_large: bool
+    large_size_bytes: int
+
+
+class PacketPairEstimator:
+    """Receiver-side per-link state for packet-pair probing."""
+
+    def __init__(
+        self,
+        ewma_history_weight: float = 0.9,
+        loss_penalty_factor: float = 1.2,
+        window_intervals: int = 10,
+    ) -> None:
+        if not 0.0 <= ewma_history_weight < 1.0:
+            raise ValueError("history weight must be in [0, 1)")
+        if loss_penalty_factor < 1.0:
+            raise ValueError("loss penalty must not reward losses")
+        self.history_weight = ewma_history_weight
+        self.penalty_factor = loss_penalty_factor
+        self.ewma_delay_s: Optional[float] = None
+        self.ewma_bandwidth_bps: Optional[float] = None
+        self.loss_estimator = LossRatioEstimator(window_intervals)
+        self._pending_small: Optional[Tuple[int, float]] = None
+        self._highest_seq = 0
+        self._last_heard: Optional[float] = None
+        self._interval_s: Optional[float] = None
+        self.pairs_completed = 0
+        self.penalties_applied = 0
+
+    # ------------------------------------------------------------------
+    # Reception events
+
+    def note_small(self, sequence: int, now: float, interval_s: float) -> None:
+        self._interval_s = interval_s
+        self._penalize_gap(sequence)
+        if self._pending_small is not None:
+            # Previous pair's large probe never arrived.
+            self._apply_penalty()
+        self._pending_small = (sequence, now)
+        self._note_heard(sequence, now)
+        self.loss_estimator.note_received(now, interval_s)
+
+    def note_large(
+        self, sequence: int, now: float, interval_s: float, large_bytes: int
+    ) -> None:
+        self._interval_s = interval_s
+        pending = self._pending_small
+        if pending is not None and pending[0] == sequence:
+            delay = now - pending[1]
+            self._pending_small = None
+            if delay > 0.0:
+                self._update_delay(delay)
+                self._update_bandwidth(large_bytes * 8.0 / delay)
+                self.pairs_completed += 1
+        else:
+            # Small probe of this pair was lost (and any skipped pairs too).
+            self._penalize_gap(sequence)
+            self._apply_penalty()
+        self._note_heard(sequence, now)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def effective_delay_s(self, now: float) -> Optional[float]:
+        """EWMA delay including penalties for silent (unheard) intervals.
+
+        If the neighbor has gone quiet, every probing interval that passed
+        without a pair is an (as yet unmaterialized) loss; they compound
+        at read time so a dead link's cost explodes just as a lossy-but-
+        alive link's does.
+        """
+        if self.ewma_delay_s is None:
+            return None
+        silent = self._silent_intervals(now)
+        if silent <= 0:
+            return self.ewma_delay_s
+        return self.ewma_delay_s * self.penalty_factor ** silent
+
+    def bandwidth_bps(self) -> Optional[float]:
+        return self.ewma_bandwidth_bps
+
+    def delivery_ratio(self, now: float) -> float:
+        """df estimated from the small probes (used by ETT)."""
+        return self.loss_estimator.delivery_ratio(now)
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _silent_intervals(self, now: float) -> int:
+        if self._last_heard is None or self._interval_s is None:
+            return 0
+        grace = 0.5 * self._interval_s
+        elapsed = now - self._last_heard - grace
+        if elapsed <= 0:
+            return 0
+        return int(math.floor(elapsed / self._interval_s))
+
+    def _note_heard(self, sequence: int, now: float) -> None:
+        if sequence > self._highest_seq:
+            self._highest_seq = sequence
+        self._last_heard = now
+
+    def _penalize_gap(self, sequence: int) -> None:
+        """Wholly missed pairs between the last heard seq and this one."""
+        missed = sequence - self._highest_seq - 1
+        for _ in range(max(0, missed)):
+            self._apply_penalty()
+
+    def _apply_penalty(self) -> None:
+        if self.ewma_delay_s is not None:
+            self.ewma_delay_s *= self.penalty_factor
+            self.penalties_applied += 1
+
+    def _update_delay(self, sample_s: float) -> None:
+        if self.ewma_delay_s is None:
+            self.ewma_delay_s = sample_s
+        else:
+            w = self.history_weight
+            self.ewma_delay_s = w * self.ewma_delay_s + (1.0 - w) * sample_s
+
+    def _update_bandwidth(self, sample_bps: float) -> None:
+        if self.ewma_bandwidth_bps is None:
+            self.ewma_bandwidth_bps = sample_bps
+        else:
+            w = self.history_weight
+            self.ewma_bandwidth_bps = (
+                w * self.ewma_bandwidth_bps + (1.0 - w) * sample_bps
+            )
+
+
+class PacketPairAgent:
+    """Sender side: broadcast a small+large probe pair every interval."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        interval_s: float = 10.0,
+        small_size_bytes: int = 60,
+        large_size_bytes: int = 200,
+        jitter: float = 0.1,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("pair interval must be positive")
+        if small_size_bytes >= large_size_bytes:
+            raise ValueError("the large probe must be larger than the small one")
+        self.sim = sim
+        self.node = node
+        self.interval_s = interval_s
+        self.small_size_bytes = small_size_bytes
+        self.large_size_bytes = large_size_bytes
+        self._sequence = 0
+        self._task = PeriodicTask(
+            sim,
+            interval_s,
+            self._send_pair,
+            jitter=jitter,
+            rng=sim.rng.stream(f"probe.pair.{node.node_id}"),
+        )
+
+    def start(self) -> None:
+        rng = self.sim.rng.stream(f"probe.pair.start.{self.node.node_id}")
+        self._task.start(initial_delay=rng.uniform(0.0, self.interval_s))
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _send_pair(self) -> None:
+        self._sequence += 1
+        for is_large in (False, True):
+            size = self.large_size_bytes if is_large else self.small_size_bytes
+            kind = (
+                PacketKind.PROBE_PAIR_LARGE
+                if is_large
+                else PacketKind.PROBE_PAIR_SMALL
+            )
+            packet = Packet(
+                kind=kind,
+                origin=self.node.node_id,
+                size_bytes=size,
+                created_at=self.sim.now,
+                payload=PairProbePayload(
+                    sender_id=self.node.node_id,
+                    sequence=self._sequence,
+                    interval_s=self.interval_s,
+                    is_large=is_large,
+                    large_size_bytes=self.large_size_bytes,
+                ),
+            )
+            self.node.send_broadcast(packet)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+This package is the reproduction's substitute for GloMoSim: a small,
+deterministic discrete-event engine with named random-number streams,
+timers, periodic tasks, and structured counters.
+
+Public entry points:
+
+* :class:`repro.sim.engine.Simulator` -- the event loop.
+* :class:`repro.sim.rng.RngRegistry` -- reproducible named RNG streams.
+* :class:`repro.sim.process.PeriodicTask` / :class:`repro.sim.process.Timer`
+  -- recurring and one-shot scheduling helpers.
+* :class:`repro.sim.trace.CounterSet` -- lightweight metric counters.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import CounterSet, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventHandle",
+    "PeriodicTask",
+    "Timer",
+    "RngRegistry",
+    "CounterSet",
+    "TraceRecorder",
+]

@@ -1,0 +1,146 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns the virtual clock and a binary-heap event queue.
+Everything in the reproduction -- radio transmissions, MAC backoffs, probe
+timers, ODMRP refresh floods, CBR sources -- is expressed as callbacks
+scheduled on one simulator instance.
+
+The engine is deliberately callback-based rather than coroutine-based:
+profiling showed plain callbacks are 3-4x faster than generator-based
+processes for the packet-level workloads in this project, and the protocol
+state machines map naturally onto explicit callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventHandle, EventPriority
+from repro.sim.rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulator's RNG registry.  Two simulators
+        constructed with the same seed and driven by the same model code
+        produce bit-identical event sequences.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.5, fired.append, "hello")
+    >>> sim.run(until=10.0)
+    >>> (fired, sim.now)
+    (['hello'], 10.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.DEFAULT,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.DEFAULT,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(time, callback, args, priority)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events in order until the queue drains or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return even if the queue drained earlier, so post-run statistics
+        can divide by a well-defined duration.  Events scheduled exactly at
+        ``until`` are *not* executed (half-open interval).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        try:
+            while queue and not self._stopped:
+                event = queue[0]
+                if until is not None and event.time >= until:
+                    break
+                heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self.events_executed += 1
+                event.callback(*event.args)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns True if an event ran, False if the queue is empty.
+        Useful in tests that walk a protocol one transition at a time.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued (O(n); for tests)."""
+        return sum(1 for event in self._queue if not event.cancelled)

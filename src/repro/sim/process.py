@@ -1,0 +1,135 @@
+"""Timer and periodic-task helpers on top of the raw event queue.
+
+These wrap the common scheduling shapes used by the protocol stack:
+
+* :class:`Timer` -- a restartable one-shot timer (ODMRP's delta/alpha
+  windows, forwarding-group expiry).
+* :class:`PeriodicTask` -- a fixed-interval recurring task with optional
+  per-firing jitter (probe senders, CBR sources, JOIN QUERY refresh).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle, EventPriority
+
+
+class Timer:
+    """Restartable one-shot timer.
+
+    The callback fires once per ``start``; calling ``start`` while running
+    restarts the countdown from now.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], Any],
+        priority: int = EventPriority.DEFAULT,
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._priority = priority
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute expiry time, or None when the timer is idle."""
+        return self._handle.time if self.running else None
+
+    def start(self, delay: float) -> None:
+        """(Re)start the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(
+            delay, self._fire, priority=self._priority
+        )
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTask:
+    """A recurring task with a fixed interval and optional jitter.
+
+    Jitter draws the actual gap uniformly from
+    ``[interval * (1 - jitter), interval * (1 + jitter)]``, which is how
+    probe senders avoid phase-locking with each other (the paper's probes
+    are periodic per node but unsynchronized across nodes).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+        priority: int = EventPriority.DEFAULT,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._rng = rng
+        self._priority = priority
+        self._handle: Optional[EventHandle] = None
+        self.firings = 0
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start the task; first firing after ``initial_delay`` (default:
+        one jittered interval)."""
+        self.stop()
+        delay = self._next_gap() if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(
+            delay, self._fire, priority=self._priority
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def set_interval(self, interval: float) -> None:
+        """Change the interval; takes effect from the next scheduling."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+
+    def _next_gap(self) -> float:
+        if self._jitter == 0.0:
+            return self.interval
+        assert self._rng is not None
+        spread = self.interval * self._jitter
+        return self._rng.uniform(self.interval - spread, self.interval + spread)
+
+    def _fire(self) -> None:
+        self.firings += 1
+        # Reschedule before the callback so a callback that stops the task
+        # (or changes the interval) sees consistent state.
+        self._handle = self._sim.schedule(
+            self._next_gap(), self._fire, priority=self._priority
+        )
+        self._callback()

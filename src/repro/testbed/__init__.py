@@ -1,0 +1,46 @@
+"""Emulation of the paper's eight-node Purdue mesh testbed (Section 5).
+
+The real testbed is hardware we cannot have; what the paper's Section 5
+results actually depend on is the *loss structure* of Figure 4 -- which
+pairs of nodes can hear each other and which links are lossy (40-60 %
+loss, time-varying) versus low-loss.  This package reproduces exactly
+that:
+
+* :mod:`repro.testbed.floormap` -- the Figure 4 topology: node ids,
+  approximate office positions, and the solid/dashed link classification.
+* :mod:`repro.testbed.linkmodel` -- an empirical-loss channel driving the
+  same CSMA MAC: per-link Bernoulli loss with a bounded random walk for
+  the "fairly quick" temporal variation the paper describes.
+* :mod:`repro.testbed.emulator` -- assembles the Section 5 experiment
+  (two groups: 2 -> {3, 5} and 4 -> {1, 7}).
+* :mod:`repro.testbed.ping` -- the ping-based link classification the
+  authors used to draw Figure 4.
+"""
+
+from repro.testbed.floormap import (
+    TESTBED_NODE_IDS,
+    TestbedLink,
+    testbed_links,
+    testbed_positions,
+)
+from repro.testbed.linkmodel import EmpiricalChannel, LinkProfile, TimeVaryingLoss
+from repro.testbed.emulator import (
+    TestbedScenario,
+    TestbedScenarioConfig,
+    build_testbed_scenario,
+)
+from repro.testbed.ping import classify_links_by_ping
+
+__all__ = [
+    "TESTBED_NODE_IDS",
+    "TestbedLink",
+    "testbed_positions",
+    "testbed_links",
+    "TimeVaryingLoss",
+    "LinkProfile",
+    "EmpiricalChannel",
+    "TestbedScenarioConfig",
+    "TestbedScenario",
+    "build_testbed_scenario",
+    "classify_links_by_ping",
+]

@@ -1,0 +1,262 @@
+"""The Section 5 testbed experiment, assembled over the empirical channel.
+
+Two multicast groups, exactly as the paper ran them: node 2 sources to
+receivers {3, 5}, node 4 sources to receivers {1, 7}; CBR 512 B @ 20
+packets/s for 400 s, repeated five times (different loss-walk seeds) per
+protocol variant.
+
+The paper's testbed labels (1..10) are preserved at the API surface;
+internally nodes are indexed 0..7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.metrics import RouteMetric, metric_by_name
+from repro.net.network import Network, NetworkConfig
+from repro.odmrp.config import OdmrpConfig
+from repro.odmrp.protocol import OdmrpRouter
+from repro.probing.manager import ProbingConfig, ProbingManager
+from repro.sim.rng import RngRegistry
+from repro.testbed.floormap import (
+    TESTBED_NODE_IDS,
+    testbed_links,
+    testbed_positions,
+)
+from repro.testbed.linkmodel import (
+    STRONG_POWER_MW,
+    WEAK_POWER_MW,
+    EmpiricalChannel,
+    LinkProfile,
+    TimeVaryingLoss,
+    testbed_radio_params,
+)
+from repro.traffic.cbr import CbrSource
+from repro.traffic.groups import GroupScenario, GroupSpec
+from repro.traffic.sink import MulticastSink
+
+#: The paper's group setup: (source label, receiver labels).
+DEFAULT_GROUPS: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
+    (2, (3, 5)),
+    (4, (1, 7)),
+)
+
+
+@dataclass
+class TestbedScenarioConfig:
+    """Knobs of the testbed emulation (Section 5 defaults)."""
+
+    duration_s: float = 400.0
+    warmup_s: float = 30.0
+    rate_pps: float = 20.0
+    packet_size_bytes: int = 512
+    #: Loss band of dashed (lossy) links.  Section 5.3 reports "loss
+    #: rates in the range of 40% to 60%" from small-ping exchanges; data
+    #: frames are several times longer than pings, so their loss sits at
+    #: the top of (and slightly above) that band.
+    lossy_band: Tuple[float, float] = (0.45, 0.65)
+    #: Loss band of solid links ("low or almost no loss").
+    low_loss_band: Tuple[float, float] = (0.0, 0.04)
+    loss_update_interval_s: float = 5.0
+    run_seed: int = 1
+    groups: Tuple[Tuple[int, Tuple[int, ...]], ...] = DEFAULT_GROUPS
+    probing: ProbingConfig = field(default_factory=ProbingConfig)
+    #: The paper's testbed odmrpd is a custom implementation with
+    #: unspecified timers.  A forwarding-group lifetime of 1.5 refresh
+    #: rounds reproduces the measured gains; at the GloMoSim-style 3
+    #: rounds the baseline's stale-path redundancy masks most of the
+    #: route-choice differences on this small floor (see
+    #: benchmarks/bench_ablation_fg_timeout.py).
+    odmrp: OdmrpConfig = field(
+        default_factory=lambda: OdmrpConfig(fg_timeout_s=4.5)
+    )
+
+    def with_run_seed(self, seed: int) -> "TestbedScenarioConfig":
+        return replace(self, run_seed=seed)
+
+
+@dataclass
+class TestbedScenario:
+    """A wired testbed run; duck-type compatible with SimulationScenario
+    for :func:`repro.experiments.runner.collect_result`."""
+
+    config: TestbedScenarioConfig
+    protocol_name: str
+    network: Network
+    metric: Optional[RouteMetric]
+    probing: Optional[ProbingManager]
+    routers: Dict[int, OdmrpRouter]
+    sink: MulticastSink
+    sources: List[CbrSource]
+    groups: GroupScenario
+    label_to_index: Dict[int, int]
+    index_to_label: Dict[int, int]
+
+    def run(self) -> None:
+        self.network.run(self.config.duration_s)
+
+    def offered_packets(self) -> int:
+        return sum(source.packets_sent for source in self.sources)
+
+    def expected_deliveries(self) -> int:
+        total = 0
+        for source in self.sources:
+            members = self.groups.expected_deliveries_per_packet(
+                source.group_id
+            )
+            total += source.packets_sent * members
+        return total
+
+    def heavily_used_links(
+        self, min_share: float = 0.10
+    ) -> List[Tuple[int, int, float]]:
+        """Directed links carrying a meaningful share of accepted data.
+
+        Returns (from_label, to_label, share) sorted by share, where the
+        share is relative to the busiest link -- the Figure 5 "solid
+        arrows denote the heavily used links" extraction.
+        """
+        counts: Dict[Tuple[int, int], float] = {}
+        for node in self.network.nodes:
+            for name, value in node.counters.as_dict().items():
+                if not name.startswith("odmrp.data_rx_from."):
+                    continue
+                sender_index = int(name.rsplit(".", 1)[1])
+                key = (
+                    self.index_to_label[sender_index],
+                    self.index_to_label[node.node_id],
+                )
+                counts[key] = counts.get(key, 0.0) + value
+        if not counts:
+            return []
+        busiest = max(counts.values())
+        links = [
+            (src, dst, count / busiest)
+            for (src, dst), count in counts.items()
+            if count / busiest >= min_share
+        ]
+        return sorted(links, key=lambda item: -item[2])
+
+
+def _metric_for(
+    protocol_name: str, config: TestbedScenarioConfig
+) -> Optional[RouteMetric]:
+    name = protocol_name.lower()
+    if name == "odmrp":
+        return None
+    if name == "ett":
+        return metric_by_name(
+            "ett", packet_size_bytes=config.packet_size_bytes
+        )
+    return metric_by_name(name)
+
+
+def build_testbed_scenario(
+    protocol_name: str,
+    config: Optional[TestbedScenarioConfig] = None,
+) -> TestbedScenario:
+    """Wire up one protocol variant over the Figure 4 testbed."""
+    if config is None:
+        config = TestbedScenarioConfig()
+
+    labels = list(TESTBED_NODE_IDS)
+    label_to_index = {label: index for index, label in enumerate(labels)}
+    index_to_label = {index: label for label, index in label_to_index.items()}
+    position_by_label = testbed_positions()
+    positions = [position_by_label[label] for label in labels]
+
+    # Loss processes are seeded from the run seed only, so every protocol
+    # variant experiences the same loss environment in a given run.
+    # Lossy links are weak (near the decode threshold) and low-loss links
+    # strong, per the paper's "obstacles" explanation -- this is what
+    # gives the emulated MAC a realistic capture behaviour.
+    loss_rng_registry = RngRegistry(config.run_seed)
+    profiles: Dict[FrozenSet[int], LinkProfile] = {}
+    for link in testbed_links():
+        band = config.lossy_band if link.lossy else config.low_loss_band
+        key = frozenset(
+            (label_to_index[link.node_a], label_to_index[link.node_b])
+        )
+        stream_name = f"loss.{min(link.node_a, link.node_b)}-{max(link.node_a, link.node_b)}"
+        profiles[key] = LinkProfile(
+            loss=TimeVaryingLoss(
+                band[0],
+                band[1],
+                loss_rng_registry.stream(stream_name),
+                update_interval_s=config.loss_update_interval_s,
+            ),
+            power_mw=WEAK_POWER_MW if link.lossy else STRONG_POWER_MW,
+        )
+
+    network = Network(
+        positions,
+        seed=config.run_seed,
+        config=NetworkConfig(),
+        channel_factory=lambda sim: EmpiricalChannel(sim, profiles),
+        radio_params=testbed_radio_params(),
+    )
+
+    metric = _metric_for(protocol_name, config)
+    probing: Optional[ProbingManager] = None
+    if metric is not None:
+        probing = ProbingManager(network, metric, config.probing)
+        probing.start()
+
+    sink = MulticastSink(network.sim)
+    routers: Dict[int, OdmrpRouter] = {}
+    for node in network.nodes:
+        table = probing.table(node.node_id) if probing is not None else None
+        routers[node.node_id] = OdmrpRouter(
+            network.sim,
+            node,
+            config=config.odmrp,
+            metric=metric,
+            neighbor_table=table,
+            on_deliver=sink.on_deliver,
+        )
+
+    specs = []
+    for group_number, (source_label, member_labels) in enumerate(
+        config.groups, start=1
+    ):
+        specs.append(
+            GroupSpec(
+                group_id=group_number,
+                source_ids=(label_to_index[source_label],),
+                member_ids=tuple(
+                    label_to_index[label] for label in member_labels
+                ),
+            )
+        )
+    groups = GroupScenario(groups=tuple(specs))
+
+    for group_id, member_index in groups.all_members():
+        routers[member_index].join_group(group_id)
+
+    sources: List[CbrSource] = []
+    for group_id, source_index in groups.all_sources():
+        source = CbrSource(
+            network.sim,
+            routers[source_index],
+            group_id,
+            rate_pps=config.rate_pps,
+            packet_size_bytes=config.packet_size_bytes,
+        )
+        source.start(at=config.warmup_s, stop_at=config.duration_s)
+        sources.append(source)
+
+    return TestbedScenario(
+        config=config,
+        protocol_name=protocol_name.lower(),
+        network=network,
+        metric=metric,
+        probing=probing,
+        routers=routers,
+        sink=sink,
+        sources=sources,
+        groups=groups,
+        label_to_index=label_to_index,
+        index_to_label=index_to_label,
+    )

@@ -1,0 +1,92 @@
+"""The Figure 4 floor map: nodes, positions, and link classification.
+
+The paper's testbed has eight mesh routers (labelled 1, 2, 3, 4, 5, 7, 9,
+10) on one floor of an office building, roughly 240 ft x 86 ft
+(~73 m x 26 m).  Figure 4 classifies each link as *low-loss* (solid) or
+*lossy* (dashed, 40-60 % loss per Section 5.3); pairs with no line cannot
+communicate.
+
+The exact link set below is reconstructed from the figure and the
+Section 5.3 narrative:
+
+* node 2's one-hop link to 5 is lossy; the good path is 2 -> 10 -> 5;
+* node 4's one-hop link to 7 is lossy; the good path is 4 -> 9 -> 7;
+* node 2 reaches 3 via 7 (2-7, 7-3 usable) or via 1 (1-3 is lossy);
+* node 4 reaches 1 via 10 and 2, or 7 and 2, or 7 and 3, or 9 and 3,
+  where 4-7, 9-3 and 3-1 are the lossy options ODMRP keeps stumbling
+  into.
+
+Positions are approximate office locations consistent with the figure's
+layout; the emulation never uses distance for loss (losses come from the
+link table), so positions only matter for plotting and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.net.topology import Position
+
+#: The eight router labels used in Figures 4 and 5.
+TESTBED_NODE_IDS: Tuple[int, ...] = (1, 2, 3, 4, 5, 7, 9, 10)
+
+#: Approximate positions on the 73 m x 26 m floor (meters).
+_POSITIONS: Dict[int, Position] = {
+    5: Position(6.0, 20.0),
+    4: Position(4.0, 6.0),
+    9: Position(20.0, 6.0),
+    7: Position(34.0, 18.0),
+    3: Position(52.0, 20.0),
+    2: Position(48.0, 8.0),
+    1: Position(62.0, 14.0),
+    10: Position(70.0, 5.0),
+}
+
+
+@dataclass(frozen=True)
+class TestbedLink:
+    """One bidirectional testbed link with its Figure 4 classification."""
+
+    node_a: int
+    node_b: int
+    lossy: bool
+
+    @property
+    def key(self) -> FrozenSet[int]:
+        return frozenset((self.node_a, self.node_b))
+
+
+#: Solid (low-loss) and dashed (lossy) links of Figure 4.
+_LINKS: Tuple[TestbedLink, ...] = (
+    TestbedLink(2, 10, lossy=False),
+    TestbedLink(10, 5, lossy=False),
+    TestbedLink(4, 9, lossy=False),
+    TestbedLink(9, 7, lossy=False),
+    TestbedLink(2, 7, lossy=False),
+    TestbedLink(7, 3, lossy=False),
+    TestbedLink(2, 1, lossy=False),
+    TestbedLink(4, 10, lossy=False),
+    TestbedLink(2, 5, lossy=True),
+    TestbedLink(4, 7, lossy=True),
+    TestbedLink(1, 3, lossy=True),
+    TestbedLink(9, 3, lossy=True),
+)
+
+
+def testbed_positions() -> Dict[int, Position]:
+    """Node label -> floor position (meters)."""
+    return dict(_POSITIONS)
+
+
+def testbed_links() -> List[TestbedLink]:
+    """All Figure 4 links with their lossy/low-loss classification."""
+    return list(_LINKS)
+
+
+def lossy_link_keys() -> List[FrozenSet[int]]:
+    return [link.key for link in _LINKS if link.lossy]
+
+
+def low_loss_link_keys() -> List[FrozenSet[int]]:
+    return [link.key for link in _LINKS if not link.lossy]

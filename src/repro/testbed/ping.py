@@ -1,0 +1,98 @@
+"""Ping-based link classification (how the authors drew Figure 4).
+
+Section 5.3: "we transfered a series of ping messages between each pair
+of nodes.  The number of packets lost during the ping exchange gave us an
+idea of the quality of the link."  This module reproduces that
+measurement over the emulated testbed: every node broadcasts a series of
+ping packets; each receiver counts what it hears per neighbor; links are
+classified lossy when the measured loss crosses a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.net.network import Network
+from repro.net.packet import Packet, PacketKind
+from repro.sim.process import PeriodicTask
+
+
+@dataclass(frozen=True)
+class LinkClassification:
+    """Measured loss and verdict for one (directed) link."""
+
+    loss_rate: float
+    lossy: bool
+
+
+def classify_links_by_ping(
+    network: Network,
+    pings_per_node: int = 100,
+    ping_interval_s: float = 0.2,
+    ping_size_bytes: int = 64,
+    lossy_threshold: float = 0.25,
+) -> Dict[Tuple[int, int], LinkClassification]:
+    """Measure every directed link by broadcast pings and classify it.
+
+    Returns ``{(sender, receiver): LinkClassification}`` for every link
+    where at least one ping got through.  The network must be freshly
+    built (no other protocol handlers registered for PING).
+    """
+    if pings_per_node <= 0:
+        raise ValueError("need at least one ping per node")
+    received: Dict[Tuple[int, int], int] = {}
+
+    def make_handler(receiver_id: int):
+        def handler(packet: Packet, sender_id: int, rx_power_mw: float) -> None:
+            key = (sender_id, receiver_id)
+            received[key] = received.get(key, 0) + 1
+
+        return handler
+
+    for node in network.nodes:
+        node.register_handler(PacketKind.PING, make_handler(node.node_id))
+
+    tasks = []
+    for node in network.nodes:
+
+        def send_ping(sender=node) -> None:
+            packet = Packet(
+                kind=PacketKind.PING,
+                origin=sender.node_id,
+                size_bytes=ping_size_bytes,
+                created_at=network.sim.now,
+            )
+            sender.send_broadcast(packet)
+
+        task = PeriodicTask(network.sim, ping_interval_s, send_ping)
+        # Stagger nodes across the interval to avoid synchronized floods.
+        task.start(
+            initial_delay=ping_interval_s * node.node_id / len(network.nodes)
+        )
+        tasks.append(task)
+
+    network.run(until=network.sim.now + pings_per_node * ping_interval_s + 1.0)
+    for task in tasks:
+        task.stop()
+
+    classifications: Dict[Tuple[int, int], LinkClassification] = {}
+    for (sender_id, receiver_id), count in sorted(received.items()):
+        loss = 1.0 - min(1.0, count / pings_per_node)
+        classifications[(sender_id, receiver_id)] = LinkClassification(
+            loss_rate=loss, lossy=loss >= lossy_threshold
+        )
+    return classifications
+
+
+def symmetric_classification(
+    directed: Dict[Tuple[int, int], LinkClassification],
+) -> Dict[FrozenSet[int], LinkClassification]:
+    """Merge the two directions of each link (worst loss wins)."""
+    merged: Dict[FrozenSet[int], LinkClassification] = {}
+    for (sender, receiver), verdict in directed.items():
+        key = frozenset((sender, receiver))
+        existing = merged.get(key)
+        if existing is None or verdict.loss_rate > existing.loss_rate:
+            merged[key] = verdict
+    return merged

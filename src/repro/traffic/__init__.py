@@ -1,0 +1,20 @@
+"""Workload: CBR multicast sources, delivery sinks, group scenarios.
+
+The paper's workload is CBR traffic of 512-byte packets at 20 packets per
+second from each source, with two multicast groups of ten members each in
+the 50-node simulations, and two groups of two receivers each on the
+testbed.
+"""
+
+from repro.traffic.cbr import CbrSource
+from repro.traffic.groups import GroupScenario, GroupSpec, build_group_scenario
+from repro.traffic.sink import DeliveryRecord, MulticastSink
+
+__all__ = [
+    "CbrSource",
+    "MulticastSink",
+    "DeliveryRecord",
+    "GroupSpec",
+    "GroupScenario",
+    "build_group_scenario",
+]

@@ -1,0 +1,84 @@
+"""Constant-bit-rate multicast source (512 B @ 20 pkt/s in the paper)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.odmrp.protocol import OdmrpRouter
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.process import PeriodicTask
+
+
+class CbrSource:
+    """Feeds fixed-size packets into a router at a fixed rate.
+
+    ``start(at)`` also marks the router as a source for the group (which
+    begins JOIN QUERY refreshes), so FG state is forming while the first
+    data packets flow -- as in ODMRP, where data transmission and route
+    refresh are concurrent.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: OdmrpRouter,
+        group_id: int,
+        rate_pps: float = 20.0,
+        packet_size_bytes: int = 512,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps}")
+        if packet_size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        self.sim = sim
+        self.router = router
+        self.group_id = group_id
+        self.rate_pps = rate_pps
+        self.packet_size_bytes = packet_size_bytes
+        self.packets_sent = 0
+        # 2% timing jitter: keeps the long-run rate constant while letting
+        # the relative phase of concurrent sources drift, as real traffic
+        # generators do.  Without it, two sources that happen to start
+        # within one frame airtime of each other stay collision-locked at
+        # every shared neighbor for the whole run.
+        self._task = PeriodicTask(
+            sim,
+            1.0 / rate_pps,
+            self._send_one,
+            jitter=0.02,
+            rng=sim.rng.stream(f"cbr.jitter.{router.node.node_id}"),
+            priority=EventPriority.APPLICATION,
+        )
+        self._stop_handle = None
+
+    def start(self, at: float, stop_at: Optional[float] = None) -> None:
+        """Begin sourcing at absolute time ``at`` (>= now)."""
+        delay = at - self.sim.now
+        if delay < 0:
+            raise ValueError(f"cannot start in the past (at={at})")
+        self.sim.schedule(delay, self._begin, priority=EventPriority.APPLICATION)
+        if stop_at is not None:
+            if stop_at <= at:
+                raise ValueError("stop time must follow start time")
+            self._stop_handle = self.sim.schedule(
+                stop_at - self.sim.now, self.stop,
+                priority=EventPriority.APPLICATION,
+            )
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _begin(self) -> None:
+        self.router.start_source(self.group_id)
+        # Random phase within one inter-packet gap: real sources are not
+        # phase-locked, and two synchronized hidden-terminal sources
+        # would otherwise collide at every shared neighbor on every
+        # single packet.
+        rng = self.sim.rng.stream(f"cbr.phase.{self.router.node.node_id}")
+        phase = rng.uniform(0.5, 1.5) / self.rate_pps
+        self._task.start(initial_delay=phase)
+
+    def _send_one(self) -> None:
+        self.router.send_data(self.group_id, self.packet_size_bytes)
+        self.packets_sent += 1

@@ -1,0 +1,96 @@
+"""Multicast group scenarios.
+
+``build_group_scenario`` draws the paper's simulation membership: a given
+number of groups, each with a source set and a member set, all distinct
+nodes drawn without replacement so no node plays two roles in one group.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One multicast group: who sends, who listens."""
+
+    group_id: int
+    source_ids: Tuple[int, ...]
+    member_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.source_ids) & set(self.member_ids)
+        if overlap:
+            raise ValueError(
+                f"group {self.group_id}: nodes {sorted(overlap)} are both "
+                "source and member"
+            )
+
+
+@dataclass(frozen=True)
+class GroupScenario:
+    """A full membership assignment over a node population."""
+
+    groups: Tuple[GroupSpec, ...]
+
+    def all_sources(self) -> List[Tuple[int, int]]:
+        """(group_id, source_id) pairs across all groups."""
+        return [
+            (group.group_id, source)
+            for group in self.groups
+            for source in group.source_ids
+        ]
+
+    def all_members(self) -> List[Tuple[int, int]]:
+        """(group_id, member_id) pairs across all groups."""
+        return [
+            (group.group_id, member)
+            for group in self.groups
+            for member in group.member_ids
+        ]
+
+    def expected_deliveries_per_packet(self, group_id: int) -> int:
+        """How many member deliveries one source packet should produce."""
+        for group in self.groups:
+            if group.group_id == group_id:
+                return len(group.member_ids)
+        raise KeyError(f"no group {group_id} in scenario")
+
+
+def build_group_scenario(
+    num_nodes: int,
+    num_groups: int = 2,
+    members_per_group: int = 10,
+    sources_per_group: int = 1,
+    rng: random.Random | None = None,
+) -> GroupScenario:
+    """Draw a random membership assignment (the paper's Section 4.1 shape).
+
+    Sources and members of the *same* group never coincide; nodes may
+    participate in multiple groups, as in the paper (with 2 groups x 10
+    members over 50 nodes, overlap across groups is possible and
+    harmless).
+    """
+    if rng is None:
+        rng = random.Random(0)
+    per_group = members_per_group + sources_per_group
+    if per_group > num_nodes:
+        raise ValueError(
+            f"group needs {per_group} distinct nodes but only "
+            f"{num_nodes} exist"
+        )
+    groups = []
+    for group_index in range(num_groups):
+        chosen = rng.sample(range(num_nodes), per_group)
+        sources = tuple(chosen[:sources_per_group])
+        members = tuple(chosen[sources_per_group:])
+        groups.append(
+            GroupSpec(
+                group_id=group_index + 1,
+                source_ids=sources,
+                member_ids=members,
+            )
+        )
+    return GroupScenario(groups=tuple(groups))

@@ -1,0 +1,96 @@
+"""Receiver-side delivery statistics.
+
+One :class:`MulticastSink` serves a whole simulation run: every member
+router's ``on_deliver`` callback points at :meth:`MulticastSink.on_deliver`.
+It aggregates, per (receiver, group, source): delivered packet and byte
+counts, and a streaming mean/min/max of end-to-end delay -- the raw
+material for the Throughput and Delay columns of Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.odmrp.messages import DataPayload
+from repro.sim.engine import Simulator
+from repro.sim.trace import WelfordAccumulator
+
+
+class DeliveryRecord:
+    """Stats for one (receiver, group, source) flow."""
+
+    __slots__ = ("packets", "bytes", "delay")
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.delay = WelfordAccumulator()
+
+
+FlowKey = Tuple[int, int, int]  # (receiver, group, source)
+
+
+class MulticastSink:
+    """Aggregates member deliveries across the network."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.flows: Dict[FlowKey, DeliveryRecord] = defaultdict(DeliveryRecord)
+        self.total_packets = 0
+        self.total_bytes = 0
+        self.delay = WelfordAccumulator()
+
+    def on_deliver(
+        self, packet: Packet, payload: DataPayload, receiver_id: int
+    ) -> None:
+        """Router delivery callback (bind this when building routers)."""
+        record = self.flows[(receiver_id, payload.group_id, payload.source_id)]
+        record.packets += 1
+        record.bytes += packet.size_bytes
+        delay = self.sim.now - packet.created_at
+        record.delay.add(delay)
+        self.total_packets += 1
+        self.total_bytes += packet.size_bytes
+        self.delay.add(delay)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+
+    def packets_for_receiver(self, receiver_id: int) -> int:
+        return sum(
+            record.packets
+            for (receiver, _g, _s), record in self.flows.items()
+            if receiver == receiver_id
+        )
+
+    def packets_for_group(self, group_id: int) -> int:
+        return sum(
+            record.packets
+            for (_r, group, _s), record in self.flows.items()
+            if group == group_id
+        )
+
+    def mean_delay_s(self) -> Optional[float]:
+        """Mean end-to-end delay over all deliveries, None if none."""
+        if self.delay.count == 0:
+            return None
+        return self.delay.mean
+
+    def throughput_bps(self, duration_s: float) -> float:
+        """Aggregate delivered goodput over ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_bytes * 8.0 / duration_s
+
+    def delivery_ratio(self, packets_offered: int) -> float:
+        """Delivered / (offered x member deliveries expected).
+
+        ``packets_offered`` must already account for the number of
+        receivers (i.e. sum over flows of source packets each member
+        should have seen); the experiment runner computes that.
+        """
+        if packets_offered <= 0:
+            return 0.0
+        return self.total_packets / packets_offered

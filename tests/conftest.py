@@ -1,0 +1,76 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence
+
+import pytest
+
+from repro.net.network import Network, NetworkConfig
+from repro.net.topology import Position, chain_topology
+from repro.sim.engine import Simulator
+from repro.testbed.linkmodel import (
+    EmpiricalChannel,
+    LinkProfile,
+    TimeVaryingLoss,
+    testbed_radio_params,
+)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+def make_clean_network(
+    positions: Sequence[Position],
+    seed: int = 7,
+    config: Optional[NetworkConfig] = None,
+) -> Network:
+    """A network with deterministic (no-fading) radios."""
+    if config is None:
+        config = NetworkConfig(rayleigh_fading=False)
+    return Network(positions, seed=seed, config=config)
+
+
+def make_chain_network(
+    num_nodes: int = 4, spacing_m: float = 200.0, seed: int = 7
+) -> Network:
+    """No-fading chain; adjacent nodes connected, others out of range."""
+    return make_clean_network(chain_topology(num_nodes, spacing_m), seed=seed)
+
+
+def make_loss_network(
+    num_nodes: int,
+    losses: Dict[FrozenSet[int], float],
+    seed: int = 7,
+) -> Network:
+    """A network with exact, constant per-link loss probabilities.
+
+    Links absent from ``losses`` do not exist.  This is the workhorse for
+    protocol tests that need engineered topologies (e.g. the Figure 1 and
+    Figure 3 examples as live networks).
+    """
+
+    class _FixedLoss(TimeVaryingLoss):
+        def __init__(self, value: float) -> None:
+            self._fixed = value
+
+        def loss_at(self, now: float) -> float:  # noqa: D401
+            return self._fixed
+
+    profiles = {
+        key: LinkProfile(loss=_FixedLoss(value))
+        for key, value in losses.items()
+    }
+    positions = [Position(float(i * 10), 0.0) for i in range(num_nodes)]
+    return Network(
+        positions,
+        seed=seed,
+        channel_factory=lambda sim: EmpiricalChannel(sim, profiles),
+        radio_params=testbed_radio_params(),
+    )
+
+
+def link(a: int, b: int) -> FrozenSet[int]:
+    return frozenset((a, b))

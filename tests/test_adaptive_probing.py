@@ -1,0 +1,134 @@
+"""Tests for the adaptive probing-rate controller (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.probing.adaptive import (
+    AdaptiveProbeAgent,
+    AdaptiveProbingConfig,
+    ChannelUtilizationEstimator,
+)
+from repro.probing.neighbor_table import NeighborTable
+from repro.sim.process import PeriodicTask
+from tests.conftest import link, make_loss_network
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveProbingConfig(base_interval_s=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveProbingConfig(utilization_ewma_weight=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveProbingConfig(min_rate_multiplier=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveProbingConfig(
+                min_rate_multiplier=2.0, max_rate_multiplier=1.0
+            )
+        with pytest.raises(ValueError):
+            AdaptiveProbingConfig(saturation_utilization=0.0)
+
+
+class TestUtilizationEstimator:
+    def test_idle_channel_reads_zero(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        estimator = ChannelUtilizationEstimator(
+            network.sim, network.nodes[0], AdaptiveProbingConfig()
+        )
+        estimator.start()
+        network.run(10.0)
+        assert estimator.utilization == pytest.approx(0.0)
+        assert estimator.samples > 50
+
+    def test_busy_channel_reads_high(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        estimator = ChannelUtilizationEstimator(
+            network.sim, network.nodes[1], AdaptiveProbingConfig()
+        )
+        estimator.start()
+        # Saturate the air with back-to-back large frames from node 0.
+        task = PeriodicTask(
+            network.sim,
+            0.005,
+            lambda: network.nodes[0].send_broadcast(
+                Packet(PacketKind.DATA, 0, 1400, network.sim.now)
+            ),
+        )
+        task.start()
+        network.run(30.0)
+        task.stop()
+        assert estimator.utilization > 0.5
+
+
+class TestAdaptiveAgent:
+    def test_idle_network_probes_faster_than_base(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        config = AdaptiveProbingConfig(base_interval_s=5.0)
+        agent = AdaptiveProbeAgent(network.sim, network.nodes[0], config)
+        agent.start()
+        network.run(120.0)
+        assert agent.intervals_used, "agent must have probed"
+        mean_interval = sum(agent.intervals_used) / len(agent.intervals_used)
+        # Idle channel: the controller converges to the fast floor.
+        assert mean_interval < 4.0
+        assert min(agent.intervals_used) >= 5.0 / config.max_rate_multiplier
+
+    def test_congested_network_backs_off(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        config = AdaptiveProbingConfig(base_interval_s=5.0)
+        agent = AdaptiveProbeAgent(network.sim, network.nodes[0], config)
+        agent.start()
+        task = PeriodicTask(
+            network.sim,
+            0.004,
+            lambda: network.nodes[1].send_broadcast(
+                Packet(PacketKind.DATA, 1, 1400, network.sim.now)
+            ),
+        )
+        task.start()
+        network.run(200.0)
+        task.stop()
+        late = agent.intervals_used[len(agent.intervals_used) // 2:]
+        mean_late = sum(late) / len(late)
+        assert mean_late > config.base_interval_s  # backed off past base
+        assert max(agent.intervals_used) <= (
+            config.base_interval_s / config.min_rate_multiplier + 1e-9
+        )
+
+    def test_rate_multiplier_bounds(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        config = AdaptiveProbingConfig()
+        agent = AdaptiveProbeAgent(network.sim, network.nodes[0], config)
+        agent.estimator.utilization = 0.0
+        assert agent.current_rate_multiplier() == pytest.approx(
+            config.max_rate_multiplier
+        )
+        agent.estimator.utilization = 1.0
+        assert agent.current_rate_multiplier() == pytest.approx(
+            config.min_rate_multiplier
+        )
+
+    def test_receiver_window_follows_adapted_interval(self):
+        """df stays ~1.0 on a clean link even as the cadence changes --
+        the probes carry their current interval."""
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        table = NeighborTable(network.sim, network.nodes[1])
+        agent = AdaptiveProbeAgent(network.sim, network.nodes[0])
+        agent.start()
+        network.run(150.0)
+        quality = table.link_quality(0)
+        assert quality.forward_delivery_ratio > 0.85
+
+    def test_stop_halts_probing_and_sampling(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        agent = AdaptiveProbeAgent(network.sim, network.nodes[0])
+        agent.start()
+        network.run(20.0)
+        sent = network.nodes[0].counters.get("tx.probe.packets")
+        samples = agent.estimator.samples
+        agent.stop()
+        network.run(60.0)
+        assert network.nodes[0].counters.get("tx.probe.packets") == sent
+        assert agent.estimator.samples == samples

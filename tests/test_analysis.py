@@ -1,0 +1,96 @@
+"""Tests for statistics helpers and table rendering."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    confidence_interval_95,
+    mean,
+    relative_gain_pct,
+    stddev,
+)
+from repro.analysis.tables import render_comparison, render_table
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=2,
+    max_size=50,
+)
+
+
+class TestStats:
+    @given(values_strategy)
+    def test_mean_and_stddev_match_statistics(self, values):
+        assert mean(values) == pytest.approx(
+            statistics.fmean(values), rel=1e-9, abs=1e-9
+        )
+        assert stddev(values) == pytest.approx(
+            statistics.stdev(values), rel=1e-6, abs=1e-6
+        )
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev_single_sample_is_zero(self):
+        assert stddev([5.0]) == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        low, high = confidence_interval_95([1.0, 2.0, 3.0, 4.0])
+        assert low < 2.5 < high
+
+    def test_confidence_interval_single_sample(self):
+        assert confidence_interval_95([3.0]) == (3.0, 3.0)
+
+    def test_relative_gain(self):
+        assert relative_gain_pct(1.18, 1.0) == pytest.approx(18.0)
+        with pytest.raises(ValueError):
+            relative_gain_pct(1.0, 0.0)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ("name", "value"),
+            [("spp", 1.18), ("odmrp", 1.0)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "spp" in lines[3]
+        # All rows align to the same width.
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text
+
+
+class TestRenderComparison:
+    def test_both_series_shown(self):
+        text = render_comparison(
+            {"spp": 1.21, "odmrp": 1.0},
+            {"spp": 1.18, "odmrp": 1.0},
+            title="throughput",
+        )
+        assert "1.180" in text
+        assert "1.210" in text
+
+    def test_missing_entries_dashed(self):
+        text = render_comparison({"spp": 1.2}, {"pp": 1.18, "spp": 1.14})
+        row = [line for line in text.splitlines() if line.startswith("pp")][0]
+        assert "-" in row
+
+    def test_precision(self):
+        text = render_comparison({"x": 1.23456}, {"x": 1.0}, precision=1)
+        assert "1.2" in text and "1.23" not in text

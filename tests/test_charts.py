@@ -1,0 +1,72 @@
+"""Tests for the text chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import (
+    render_bar_chart,
+    render_grouped_chart,
+    render_sparkline,
+)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = render_bar_chart({"a": 1.0, "b": 2.0}, width=20)
+        line_a, line_b = chart.splitlines()
+        assert line_a.count("#") == 10
+        assert line_b.count("#") == 20
+
+    def test_values_printed(self):
+        chart = render_bar_chart({"spp": 1.18}, precision=2)
+        assert "1.18" in chart
+
+    def test_baseline_marker_drawn(self):
+        chart = render_bar_chart(
+            {"odmrp": 1.0, "spp": 2.0}, width=20, baseline=1.0
+        )
+        odmrp_line = chart.splitlines()[0]
+        # Baseline at half scale: marker at column 10 of the bar.
+        assert "+" in odmrp_line or "|" in odmrp_line
+
+    def test_title(self):
+        chart = render_bar_chart({"a": 1.0}, title="Throughput")
+        assert chart.splitlines()[0] == "Throughput"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({}, width=20)
+        with pytest.raises(ValueError):
+            render_bar_chart({"a": 1.0}, width=5)
+        with pytest.raises(ValueError):
+            render_bar_chart({"a": 0.0})
+
+    def test_labels_aligned(self):
+        chart = render_bar_chart({"a": 1.0, "longer": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+
+class TestGroupedChart:
+    def test_blocks_joined(self):
+        chart = render_grouped_chart(
+            {"one": {"a": 1.0}, "two": {"b": 2.0}}
+        )
+        assert "one" in chart and "two" in chart
+        assert "\n\n" in chart
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_constant_is_flat(self):
+        line = render_sparkline([3.0, 3.0, 3.0])
+        assert len(set(line)) == 1
+        assert len(line) == 3
+
+    def test_monotone_ramp_uses_range(self):
+        line = render_sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert line[0] == " "
+        assert line[-1] == "@"

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_sim_options_parsed(self):
+        args = build_parser().parse_args(
+            ["fig2-sim", "--nodes", "20", "--duration", "60",
+             "--topologies", "2"]
+        )
+        assert args.nodes == 20
+        assert args.duration == 60.0
+        assert args.topologies == 2
+
+    def test_testbed_options_parsed(self):
+        args = build_parser().parse_args(
+            ["testbed", "--duration", "120", "--runs", "3", "--seed", "7"]
+        )
+        assert args.duration == 120.0
+        assert args.runs == 3
+        assert args.seed == 7
+
+
+class TestAnalyticCommands:
+    def test_fig1_prints_paper_values(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "6.000" in out and "5.000" in out
+        assert "METX" in out
+
+    def test_fig3_prints_paper_values(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "3.750" in out and "0.512" in out
+
+
+class TestSimulationCommands:
+    def test_fig2_sim_tiny_run(self, capsys):
+        code = main([
+            "fig2-sim", "--nodes", "14", "--duration", "40",
+            "--topologies", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Throughput-simulations" in out
+        assert "Delay" in out
+        assert "odmrp" in out and "spp" in out
+
+    def test_table1_tiny_run(self, capsys):
+        code = main([
+            "table1", "--nodes", "14", "--duration", "40",
+            "--topologies", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+        assert "ett" in out and "spp" in out
+
+
+class TestTestbedCommands:
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2-5" in out and "lossy" in out
+
+    def test_fig5_short_run(self, capsys):
+        code = main(["fig5", "--duration", "90", "--runs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "odmrp" in out and "pp" in out
+        assert "lossy-link share" in out
+
+    def test_testbed_short_run(self, capsys):
+        code = main(["testbed", "--duration", "60", "--runs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Throughput-testbed" in out

@@ -1,0 +1,282 @@
+"""Tests for the routing metrics -- the paper's primary contribution."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.accumulation import (
+    additive,
+    metx_closed_form,
+    multiplicative,
+    path_cost,
+    recursive_metx,
+)
+from repro.core.comparison import best_path, normalize_against, rank_paths
+from repro.core.metrics import (
+    ALL_METRIC_NAMES,
+    EttMetric,
+    EtxMetric,
+    HopCountMetric,
+    LinkQuality,
+    MetxMetric,
+    PpMetric,
+    SppMetric,
+    metric_by_name,
+)
+
+delivery_ratios = st.floats(min_value=0.01, max_value=1.0)
+paths = st.lists(delivery_ratios, min_size=1, max_size=8)
+
+
+def quality(df: float = 1.0, delay=None, bandwidth=None) -> LinkQuality:
+    return LinkQuality(
+        forward_delivery_ratio=df,
+        packet_pair_delay_s=delay,
+        bandwidth_bps=bandwidth,
+    )
+
+
+class TestLinkQuality:
+    def test_rejects_out_of_range_ratio(self):
+        with pytest.raises(ValueError):
+            LinkQuality(forward_delivery_ratio=1.5)
+        with pytest.raises(ValueError):
+            LinkQuality(forward_delivery_ratio=-0.1)
+
+
+class TestHopCount:
+    def test_counts_links(self):
+        metric = HopCountMetric()
+        cost = path_cost(metric, [metric.link_cost(quality())] * 4)
+        assert cost == 4.0
+
+    def test_lower_is_better(self):
+        metric = HopCountMetric()
+        assert metric.is_better(2.0, 3.0)
+        assert not metric.is_better(3.0, 2.0)
+
+
+class TestEtx:
+    def test_link_cost_is_inverse_delivery(self):
+        metric = EtxMetric()
+        assert metric.link_cost(quality(0.5)) == pytest.approx(2.0)
+
+    def test_dead_link_is_unusable(self):
+        metric = EtxMetric()
+        cost = metric.combine(1.0, metric.link_cost(quality(0.0)))
+        assert not metric.is_usable(cost)
+
+    def test_ignores_reverse_direction_entirely(self):
+        # The multicast adaptation: only df appears in the LinkQuality
+        # interface at all; this asserts the cost depends on df alone.
+        metric = EtxMetric()
+        assert metric.link_cost(quality(0.5, delay=10.0)) == metric.link_cost(
+            quality(0.5, delay=None)
+        )
+
+    @given(paths)
+    def test_path_cost_is_sum(self, dfs):
+        metric = EtxMetric()
+        total = path_cost(metric, [metric.link_cost(quality(df)) for df in dfs])
+        assert total == pytest.approx(additive([1.0 / df for df in dfs]))
+
+
+class TestEtt:
+    def test_scales_etx_by_transmission_time(self):
+        metric = EttMetric(packet_size_bytes=1000, default_bandwidth_bps=1e6)
+        # 8000 bits at 1 Mbps = 8 ms; df 0.5 doubles it.
+        assert metric.link_cost(quality(0.5)) == pytest.approx(0.016)
+
+    def test_uses_measured_bandwidth_when_present(self):
+        metric = EttMetric(packet_size_bytes=1000, default_bandwidth_bps=1e6)
+        fast = metric.link_cost(quality(1.0, bandwidth=2e6))
+        slow = metric.link_cost(quality(1.0, bandwidth=0.5e6))
+        assert fast == pytest.approx(0.004)
+        assert slow == pytest.approx(0.016)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EttMetric(packet_size_bytes=0)
+        with pytest.raises(ValueError):
+            EttMetric(default_bandwidth_bps=0.0)
+
+
+class TestPp:
+    def test_cost_is_the_smoothed_delay(self):
+        metric = PpMetric()
+        assert metric.link_cost(quality(0.9, delay=0.004)) == 0.004
+
+    def test_unmeasured_link_is_unusable(self):
+        metric = PpMetric()
+        assert not metric.is_usable(metric.link_cost(quality(0.9, delay=None)))
+
+
+class TestMetx:
+    def test_figure1_values(self):
+        """The paper's Figure 1: METX(A-C-D)=6, METX(A-B-D)=5."""
+        metric = MetxMetric()
+        acd = path_cost(
+            metric, [metric.link_cost(quality(df)) for df in (1.0, 1.0 / 3.0)]
+        )
+        abd = path_cost(
+            metric, [metric.link_cost(quality(df)) for df in (0.25, 1.0)]
+        )
+        assert acd == pytest.approx(6.0)
+        assert abd == pytest.approx(5.0)
+        assert metric.is_better(abd, acd)  # METX prefers A-B-D
+
+    @given(paths)
+    def test_recursion_equals_closed_form(self, dfs):
+        assert recursive_metx(dfs) == pytest.approx(
+            metx_closed_form(dfs), rel=1e-9
+        )
+
+    @given(paths)
+    def test_metx_at_least_etx(self, dfs):
+        """METX counts every hop's transmissions, so it dominates ETX."""
+        etx = additive([1.0 / df for df in dfs])
+        assert recursive_metx(dfs) >= etx - 1e-9
+
+    def test_perfect_path_equals_hop_count(self):
+        assert recursive_metx([1.0] * 5) == pytest.approx(5.0)
+
+    def test_dead_link_is_infinite(self):
+        assert math.isinf(recursive_metx([0.5, 0.0, 1.0]))
+
+
+class TestSpp:
+    def test_figure1_values(self):
+        """1/SPP(A-C-D)=3 beats 1/SPP(A-B-D)=4."""
+        metric = SppMetric()
+        acd = path_cost(
+            metric, [metric.link_cost(quality(df)) for df in (1.0, 1.0 / 3.0)]
+        )
+        abd = path_cost(
+            metric, [metric.link_cost(quality(df)) for df in (0.25, 1.0)]
+        )
+        assert 1.0 / acd == pytest.approx(3.0)
+        assert 1.0 / abd == pytest.approx(4.0)
+        assert metric.is_better(acd, abd)  # SPP prefers A-C-D
+
+    def test_figure3_spp_overrules_etx(self):
+        """SPP avoids the path with the single 0.4 link; ETX does not."""
+        etx = EtxMetric()
+        spp = SppMetric()
+        abcd = (0.8, 0.8, 0.8)
+        aed = (0.9, 0.4)
+        etx_abcd = path_cost(etx, [etx.link_cost(quality(df)) for df in abcd])
+        etx_aed = path_cost(etx, [etx.link_cost(quality(df)) for df in aed])
+        spp_abcd = path_cost(spp, [spp.link_cost(quality(df)) for df in abcd])
+        spp_aed = path_cost(spp, [spp.link_cost(quality(df)) for df in aed])
+        assert etx_abcd == pytest.approx(3.75)
+        assert etx_aed == pytest.approx(3.61, abs=0.01)
+        assert etx.is_better(etx_aed, etx_abcd)  # ETX picks the lossy path
+        assert spp_abcd == pytest.approx(0.512)
+        assert spp_aed == pytest.approx(0.36)
+        assert spp.is_better(spp_abcd, spp_aed)  # SPP picks the long path
+
+    def test_higher_is_better_orientation(self):
+        metric = SppMetric()
+        assert metric.higher_is_better
+        assert metric.is_better(0.9, 0.5)
+        assert metric.worst_cost() == float("-inf")
+
+    def test_zero_probability_is_unusable(self):
+        metric = SppMetric()
+        assert not metric.is_usable(0.0)
+
+    @given(paths)
+    def test_spp_is_path_delivery_probability(self, dfs):
+        metric = SppMetric()
+        total = path_cost(metric, [metric.link_cost(quality(df)) for df in dfs])
+        assert total == pytest.approx(multiplicative(dfs))
+        assert 0.0 < total <= 1.0
+
+
+class TestMonotonicity:
+    """Adding a lossy link must never make any metric's path better."""
+
+    @given(paths, delivery_ratios)
+    def test_extension_never_improves(self, dfs, extra_df):
+        for name in ALL_METRIC_NAMES:
+            metric = metric_by_name(name)
+            costs = [metric.link_cost(quality(df)) for df in dfs]
+            base = path_cost(metric, costs)
+            extended = metric.combine(
+                base, metric.link_cost(quality(extra_df))
+            )
+            assert not metric.is_better(extended, base), (
+                f"{name}: extending a path improved it"
+            )
+
+    @given(paths, st.integers(min_value=0, max_value=7), delivery_ratios)
+    def test_degrading_a_link_never_helps(self, dfs, index, worse_df):
+        index = index % len(dfs)
+        if worse_df >= dfs[index]:
+            return  # only test genuine degradation
+        for name in ("etx", "metx", "spp"):
+            metric = metric_by_name(name)
+            good = path_cost(
+                metric, [metric.link_cost(quality(df)) for df in dfs]
+            )
+            degraded_dfs = list(dfs)
+            degraded_dfs[index] = worse_df
+            bad = path_cost(
+                metric, [metric.link_cost(quality(df)) for df in degraded_dfs]
+            )
+            assert not metric.is_better(bad, good), (
+                f"{name}: degrading a link improved the path"
+            )
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in ALL_METRIC_NAMES + ("hopcount",):
+            assert metric_by_name(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            metric_by_name("wcett")
+
+    def test_kwargs_forwarded(self):
+        metric = metric_by_name("ett", packet_size_bytes=256)
+        assert metric.packet_size_bytes == 256
+
+
+class TestComparisonHelpers:
+    def test_best_path_minimizing(self):
+        metric = EtxMetric()
+        assert best_path(metric, {"a": 3.0, "b": 2.0}) == "b"
+
+    def test_best_path_maximizing(self):
+        metric = SppMetric()
+        assert best_path(metric, {"a": 0.3, "b": 0.8}) == "b"
+
+    def test_best_path_skips_unusable(self):
+        metric = EtxMetric()
+        assert best_path(metric, {"a": float("inf"), "b": 5.0}) == "b"
+        assert best_path(metric, {"a": float("inf")}) is None
+
+    def test_best_path_tie_keeps_first(self):
+        metric = EtxMetric()
+        assert best_path(metric, {"first": 2.0, "second": 2.0}) == "first"
+
+    def test_rank_paths_orders_best_first(self):
+        metric = SppMetric()
+        ranked = rank_paths(
+            metric, {"a": 0.2, "b": 0.9, "dead": 0.0, "c": 0.5}
+        )
+        assert [name for name, _ in ranked] == ["b", "c", "a", "dead"]
+
+    def test_normalize_against(self):
+        normalized = normalize_against({"base": 2.0, "x": 3.0}, "base")
+        assert normalized == {"base": 1.0, "x": 1.5}
+
+    def test_normalize_missing_or_zero_baseline(self):
+        with pytest.raises(KeyError):
+            normalize_against({"x": 1.0}, "base")
+        with pytest.raises(ValueError):
+            normalize_against({"base": 0.0, "x": 1.0}, "base")

@@ -1,0 +1,141 @@
+"""Tests for the per-figure reproduction entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureResult,
+    PAPER_DELAY,
+    PAPER_THROUGHPUT_HIGH_OVERHEAD,
+    PAPER_THROUGHPUT_SIMULATIONS,
+    PAPER_THROUGHPUT_TESTBED,
+    figure2_delay,
+    figure2_throughput_simulations,
+    figure2_throughput_testbed,
+    multi_source_gain_reduction,
+    probing_rate_sensitivity,
+    table1_probing_overhead,
+)
+from repro.experiments.results import RunResult
+from repro.experiments.scenarios import SimulationScenarioConfig
+from repro.testbed.emulator import TestbedScenarioConfig
+
+TINY = SimulationScenarioConfig(
+    num_nodes=14,
+    area_width_m=600.0,
+    area_height_m=600.0,
+    members_per_group=3,
+    num_groups=1,
+    duration_s=40.0,
+    warmup_s=12.0,
+)
+
+
+def fake_run(protocol, delivered, delay=0.01, probe_bytes=100.0, seed=1):
+    return RunResult(
+        protocol=protocol,
+        topology_seed=seed,
+        duration_s=10.0,
+        offered_packets=1000,
+        expected_deliveries=3000,
+        delivered_packets=delivered,
+        delivered_bytes=delivered * 512,
+        mean_delay_s=delay,
+        probe_bytes=probe_bytes,
+    )
+
+
+class TestPaperConstants:
+    def test_throughput_orderings(self):
+        """The reference series encode the paper's claims."""
+        p = PAPER_THROUGHPUT_SIMULATIONS
+        assert p["spp"] == max(p.values())
+        assert p["odmrp"] == 1.0
+        assert p["ett"] == min(v for k, v in p.items() if k != "odmrp")
+        testbed = PAPER_THROUGHPUT_TESTBED
+        assert testbed["pp"] == max(testbed.values())
+        high = PAPER_THROUGHPUT_HIGH_OVERHEAD
+        for name in ("ett", "etx", "metx", "pp", "spp"):
+            assert high[name] < p[name]  # 5x probing drops every gain
+
+    def test_delay_reference_has_all_protocols(self):
+        assert set(PAPER_DELAY) == {
+            "odmrp", "ett", "etx", "metx", "pp", "spp"
+        }
+
+
+class TestFigureResult:
+    def test_gain_pct(self):
+        result = FigureResult(
+            name="x",
+            measured={"odmrp": 1.0, "spp": 1.18},
+            paper={},
+        )
+        assert result.gain_pct("spp") == pytest.approx(18.0)
+
+
+class TestEntryPointsWithInjectedRuns:
+    def runs(self):
+        return [
+            fake_run("odmrp", 1000, delay=0.010, probe_bytes=0.0),
+            fake_run("ett", 1130, delay=0.012, probe_bytes=15000.0),
+            fake_run("etx", 1150, delay=0.011, probe_bytes=3300.0),
+            fake_run("metx", 1160, delay=0.012, probe_bytes=3100.0),
+            fake_run("pp", 1180, delay=0.012, probe_bytes=13000.0),
+            fake_run("spp", 1180, delay=0.011, probe_bytes=2700.0),
+        ]
+
+    def test_throughput_normalization(self):
+        result = figure2_throughput_simulations(runs=self.runs())
+        assert result.measured["odmrp"] == 1.0
+        assert result.measured["spp"] == pytest.approx(1.18)
+        assert result.paper == PAPER_THROUGHPUT_SIMULATIONS
+
+    def test_delay_normalization(self):
+        result = figure2_delay(runs=self.runs())
+        assert result.measured["ett"] == pytest.approx(1.2)
+
+    def test_table1_excludes_baseline(self):
+        result = table1_probing_overhead(runs=self.runs())
+        assert "odmrp" not in result.measured
+        assert result.measured["ett"] == pytest.approx(
+            100 * 15000.0 / (1130 * 512)
+        )
+
+
+class TestLiveTinyRuns:
+    def test_probing_rate_sensitivity_tiny(self):
+        results = probing_rate_sensitivity(
+            TINY,
+            seeds=(1,),
+            multipliers=(1.0, 5.0),
+            protocols=("odmrp", "spp"),
+        )
+        assert set(results) == {1.0, 5.0}
+        for figure in results.values():
+            assert "spp" in figure.measured
+            assert figure.measured["odmrp"] == 1.0
+
+    def test_multi_source_tiny(self):
+        results = multi_source_gain_reduction(
+            TINY,
+            seeds=(1,),
+            source_counts=(1, 2),
+            protocols=("odmrp", "spp"),
+        )
+        assert set(results) == {1, 2}
+        for count, figure in results.items():
+            assert figure.measured["odmrp"] == 1.0
+            # Both sources actually sent: their runs have offered load.
+            offered = {run.protocol: run.offered_packets for run in figure.runs}
+            assert offered["odmrp"] > 0
+
+    def test_testbed_figure_tiny(self):
+        config = TestbedScenarioConfig(duration_s=50.0, warmup_s=10.0)
+        result = figure2_throughput_testbed(config, run_seeds=(1,))
+        assert set(result.measured) == {
+            "odmrp", "ett", "etx", "metx", "pp", "spp"
+        }
+        assert result.measured["odmrp"] == 1.0
+        assert all(value > 0 for value in result.measured.values())

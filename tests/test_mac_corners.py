@@ -1,0 +1,108 @@
+"""MAC corner cases: deferral, backoff, and queue interactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.csma import BROADCAST_ID
+from repro.mac.frames import frame_airtime_s
+from repro.net.packet import Packet, PacketKind
+from tests.conftest import link, make_chain_network, make_loss_network
+
+
+class TestDeferral:
+    def test_sender_defers_to_ongoing_transmission(self):
+        """A frame queued mid-transmission waits for the medium."""
+        network = make_chain_network(3, 100.0)
+        received_at = {}
+
+        def on_rx(p, s, pw):
+            received_at[s] = network.sim.now
+
+        network.nodes[2].register_handler(PacketKind.DATA, on_rx)
+        # Node 0 starts a long frame; node 1 queues its own shortly after.
+        long_frame = Packet(PacketKind.DATA, 0, 1400, 0.0)
+        network.nodes[0].send_broadcast(long_frame)
+        network.sim.schedule(
+            0.001,
+            lambda: network.nodes[1].send_broadcast(
+                Packet(PacketKind.DATA, 1, 200, 0.0)
+            ),
+        )
+        network.run(1.0)
+        long_airtime = frame_airtime_s(1400, 2e6)
+        assert received_at[1] > long_airtime  # waited the long frame out
+        assert sorted(received_at) == [0, 1]
+
+    def test_many_contenders_all_eventually_send(self):
+        network = make_chain_network(2, 100.0)
+        received = []
+        network.nodes[1].register_handler(
+            PacketKind.DATA, lambda p, s, pw: received.append(p.payload)
+        )
+        for i in range(30):
+            network.nodes[0].send_broadcast(
+                Packet(PacketKind.DATA, 0, 600, 0.0, payload=i)
+            )
+        network.run(5.0)
+        assert received == list(range(30))
+
+    def test_queue_length_reports_backlog(self):
+        network = make_chain_network(2, 100.0)
+        node = network.nodes[0]
+        assert node.mac.queue_length == 0
+        for _ in range(4):
+            node.send_broadcast(Packet(PacketKind.DATA, 0, 600, 0.0))
+        assert node.mac.queue_length == 4
+        network.run(2.0)
+        assert node.mac.queue_length == 0
+
+
+class TestOnDoneSemantics:
+    def test_broadcast_on_done_fires_in_order(self):
+        network = make_chain_network(2, 100.0)
+        done = []
+        for i in range(3):
+            network.nodes[0].send_broadcast(
+                Packet(PacketKind.DATA, 0, 100, 0.0),
+                on_done=lambda ok, i=i: done.append((i, ok)),
+            )
+        network.run(1.0)
+        assert done == [(0, True), (1, True), (2, True)]
+
+    def test_unicast_on_done_false_only_after_all_retries(self):
+        network = make_loss_network(2, {link(0, 1): 1.0})
+        outcomes = []
+        network.nodes[0].send_unicast(
+            Packet(PacketKind.DATA, 0, 100, 0.0), 1,
+            on_done=outcomes.append,
+        )
+        network.run(0.001)
+        assert outcomes == []  # still retrying
+        network.run(10.0)
+        assert outcomes == [False]
+
+
+class TestAckPath:
+    def test_ack_consumes_no_handler_dispatch(self):
+        """ACK frames terminate in the MAC; protocols never see them."""
+        network = make_chain_network(2, 100.0)
+        data_seen = []
+        network.nodes[1].register_handler(
+            PacketKind.DATA, lambda p, s, pw: data_seen.append(p.uid)
+        )
+        network.nodes[0].send_unicast(Packet(PacketKind.DATA, 0, 100, 0.0), 1)
+        network.run(1.0)
+        assert len(data_seen) == 1
+        # The sender decoded the ACK at PHY level but no handler ran.
+        assert network.nodes[0].counters.get("rx.ack.packets") == 1
+        assert network.nodes[0].counters.get("rx.unhandled") == 0
+
+    def test_third_party_ignores_foreign_ack(self):
+        network = make_chain_network(3, 100.0)
+        network.nodes[1].register_handler(PacketKind.DATA, lambda p, s, pw: None)
+        network.nodes[0].send_unicast(Packet(PacketKind.DATA, 0, 100, 0.0), 1)
+        network.run(1.0)
+        # Node 2 overhears the ACK addressed to node 0 and drops it.
+        assert network.nodes[2].mac.frames_sent == 0
+        assert network.nodes[0].mac.frames_dropped_retry == 0

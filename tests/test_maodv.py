@@ -1,0 +1,144 @@
+"""Tests for the tree-based (MAODV-like) multicast extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import SppMetric
+from repro.maodv.protocol import MaodvRouter
+from repro.odmrp.config import OdmrpConfig
+from repro.probing.broadcast_probe import BroadcastProbeAgent
+from repro.probing.neighbor_table import NeighborTable
+from repro.sim.process import PeriodicTask
+from tests.conftest import link, make_loss_network
+
+
+def build_maodv(network, metric=None, config=None, deliveries=None):
+    config = config or OdmrpConfig()
+    routers = {}
+    tables = {}
+    if metric is not None:
+        for node in network.nodes:
+            tables[node.node_id] = NeighborTable(
+                network.sim, node, window_intervals=20
+            )
+            BroadcastProbeAgent(network.sim, node, interval_s=2.0).start()
+
+    def on_deliver(packet, payload, receiver_id):
+        if deliveries is not None:
+            deliveries.append((receiver_id, payload.sequence))
+
+    for node in network.nodes:
+        routers[node.node_id] = MaodvRouter(
+            network.sim,
+            node,
+            config=config,
+            metric=metric,
+            neighbor_table=tables.get(node.node_id),
+            on_deliver=on_deliver,
+        )
+    return routers
+
+
+class TestMaodvBasics:
+    def test_chain_delivery(self):
+        network = make_loss_network(
+            4, {link(i, i + 1): 0.0 for i in range(3)}
+        )
+        deliveries = []
+        routers = build_maodv(network, deliveries=deliveries)
+        routers[3].join_group(1)
+        routers[0].start_source(1)
+        network.run(2.0)
+        for i in range(30):
+            network.sim.schedule(i * 0.05, lambda: routers[0].send_data(1))
+        network.run(6.0)
+        assert len(deliveries) >= 27
+        assert routers[1].is_forwarder_for_source(1, 0)
+        assert routers[2].is_forwarder_for_source(1, 0)
+
+    def test_tree_state_is_per_source(self):
+        """A node on source A's tree does not forward source B's data."""
+        # 0 and 3 are sources; 1 and 2 are disjoint relays; 4 the member.
+        losses = {
+            link(0, 1): 0.0, link(1, 4): 0.0,
+            link(3, 2): 0.0, link(2, 4): 0.0,
+            link(0, 2): 0.0,  # 2 can hear source 0's floods too
+            link(1, 2): 0.0,
+        }
+        network = make_loss_network(5, losses)
+        routers = build_maodv(network)
+        routers[4].join_group(1)
+        routers[0].start_source(1)
+        routers[3].start_source(1)
+        network.run(3.0)
+        # Relay 1 should be on source 0's tree only.
+        assert routers[1].is_forwarder_for_source(1, 0)
+        assert not routers[1].is_forwarder_for_source(1, 3)
+
+    def test_tree_expires_quickly_without_refresh(self):
+        network = make_loss_network(3, {link(0, 1): 0.0, link(1, 2): 0.0})
+        config = OdmrpConfig(refresh_interval_s=3.0, fg_timeout_s=9.0)
+        routers = build_maodv(network, config=config)
+        routers[2].join_group(1)
+        routers[0].start_source(1)
+        network.run(2.0)
+        assert routers[1].is_forwarder_for_source(1, 0)
+        routers[0].stop_source(1)
+        # Tree lifetime is 1.5 refresh rounds, far below the ODMRP FG
+        # timeout of 3 rounds.
+        network.run(network.sim.now + 1.5 * 3.0 + 0.5)
+        assert not routers[1].is_forwarder_for_source(1, 0)
+
+    def test_less_redundant_than_odmrp(self):
+        """On a diamond, ODMRP's per-group FG accumulates both relays;
+        MAODV's per-source tree keeps one."""
+        losses = {
+            link(0, 1): 0.0, link(1, 3): 0.0,
+            link(0, 2): 0.0, link(2, 3): 0.0,
+            link(1, 2): 0.0,
+        }
+        forwards = {}
+        from tests.test_odmrp import build_routers as build_odmrp
+
+        for name, builder in (("maodv", build_maodv), ("odmrp", build_odmrp)):
+            network = make_loss_network(4, losses, seed=9)
+            routers = builder(network)
+            routers[3].join_group(1)
+            routers[0].start_source(1)
+            network.run(2.0)
+            task = PeriodicTask(
+                network.sim, 0.05, lambda r=routers: r[0].send_data(1)
+            )
+            task.start()
+            network.run(30.0)
+            task.stop()
+            forwards[name] = sum(
+                network.nodes[i].counters.get("odmrp.data_forwarded")
+                for i in (1, 2)
+            )
+        assert forwards["maodv"] < forwards["odmrp"]
+
+    def test_metric_guides_tree_choice(self):
+        """SPP trees avoid a lossy shortcut relay."""
+        losses = {
+            link(0, 1): 0.02, link(1, 3): 0.02,   # clean relay 1
+            link(0, 2): 0.45, link(2, 3): 0.45,   # lossy relay 2
+            link(1, 2): 0.0,
+        }
+        network = make_loss_network(4, losses, seed=21)
+        deliveries = []
+        routers = build_maodv(
+            network, metric=SppMetric(), deliveries=deliveries
+        )
+        routers[3].join_group(1)
+        network.run(45.0)  # probe warmup
+        routers[0].start_source(1)
+        task = PeriodicTask(network.sim, 0.05, lambda: routers[0].send_data(1))
+        task.start()
+        network.run(100.0)
+        task.stop()
+        member = network.nodes[3]
+        via_clean = member.counters.get("odmrp.data_rx_from.1")
+        via_lossy = member.counters.get("odmrp.data_rx_from.2")
+        assert via_clean > via_lossy

@@ -1,0 +1,68 @@
+"""Tests for ODMRP wire formats and config derivations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odmrp.messages import (
+    DataPayload,
+    JoinQueryPayload,
+    JoinReplyEntry,
+    JoinReplyPayload,
+)
+
+
+class TestJoinQueryPayload:
+    def base(self) -> JoinQueryPayload:
+        return JoinQueryPayload(
+            group_id=1,
+            source_id=7,
+            sequence=3,
+            prev_hop=7,
+            hop_count=0,
+            path_cost=1.0,
+        )
+
+    def test_forwarded_rewrites_hop_fields_only(self):
+        payload = self.base()
+        forwarded = payload.forwarded(prev_hop=4, path_cost=0.8)
+        assert forwarded.prev_hop == 4
+        assert forwarded.path_cost == 0.8
+        assert forwarded.hop_count == 1
+        assert forwarded.group_id == payload.group_id
+        assert forwarded.source_id == payload.source_id
+        assert forwarded.sequence == payload.sequence
+
+    def test_forwarded_chains(self):
+        payload = self.base()
+        twice = payload.forwarded(4, 0.8).forwarded(9, 0.6)
+        assert twice.hop_count == 2
+        assert twice.prev_hop == 9
+
+    def test_immutability(self):
+        payload = self.base()
+        with pytest.raises(AttributeError):
+            payload.path_cost = 0.0  # type: ignore[misc]
+
+
+class TestJoinReply:
+    def test_entries_are_tuples(self):
+        entry = JoinReplyEntry(source_id=1, sequence=2, next_hop=3)
+        payload = JoinReplyPayload(group_id=1, sender_id=9, entries=(entry,))
+        assert payload.entries[0].next_hop == 3
+        with pytest.raises(AttributeError):
+            payload.group_id = 2  # type: ignore[misc]
+
+    def test_entry_equality_by_value(self):
+        a = JoinReplyEntry(1, 2, 3)
+        b = JoinReplyEntry(1, 2, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDataPayload:
+    def test_dedup_key_fields(self):
+        a = DataPayload(group_id=1, source_id=2, sequence=3)
+        b = DataPayload(group_id=1, source_id=2, sequence=3)
+        assert a == b
+        assert (a.group_id, a.source_id, a.sequence) == (1, 2, 3)

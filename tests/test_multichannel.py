@@ -1,0 +1,215 @@
+"""Tests for the multi-radio / multi-channel extension (future work)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.multichannel.assignment import (
+    ChannelAssignment,
+    alternating_assignment,
+    assignment_connectivity,
+    coloring_assignment,
+    single_channel_assignment,
+)
+from repro.multichannel.study import (
+    run_path_selection_study,
+    sample_mesh,
+)
+from repro.multichannel.wcett import (
+    HopEtt,
+    bottleneck_channel_airtime,
+    mc_wcett,
+    path_ett_sum,
+    per_channel_airtime,
+    wcett,
+)
+
+
+def hops(*pairs):
+    return [HopEtt(ett_s=ett, channel=ch) for ett, ch in pairs]
+
+
+class TestWcett:
+    def test_single_channel_reduces_to_ett_sum(self):
+        """With every hop on one channel, max_j X_j equals the sum, so
+        WCETT equals plain ETT for any beta."""
+        path = hops((0.002, 0), (0.003, 0), (0.001, 0))
+        for beta in (0.0, 0.3, 1.0):
+            assert wcett(path, beta) == pytest.approx(path_ett_sum(path))
+
+    def test_beta_zero_is_ett_sum(self):
+        path = hops((0.002, 0), (0.003, 1))
+        assert wcett(path, beta=0.0) == pytest.approx(0.005)
+
+    def test_beta_one_is_bottleneck(self):
+        path = hops((0.002, 0), (0.003, 1), (0.002, 1))
+        assert wcett(path, beta=1.0) == pytest.approx(0.005)
+
+    def test_per_channel_airtime(self):
+        path = hops((0.002, 0), (0.003, 1), (0.002, 1))
+        assert per_channel_airtime(path) == {0: 0.002, 1: pytest.approx(0.005)}
+        assert bottleneck_channel_airtime(path) == pytest.approx(0.005)
+        assert bottleneck_channel_airtime([]) == 0.0
+
+    def test_channel_diverse_path_scores_better(self):
+        """Equal total airtime; the diverse path wins for any beta > 0."""
+        same = hops((0.002, 0), (0.002, 0))
+        diverse = hops((0.002, 0), (0.002, 1))
+        assert wcett(diverse, 0.5) < wcett(same, 0.5)
+        assert wcett(diverse, 0.0) == pytest.approx(wcett(same, 0.0))
+
+    def test_mc_wcett_same_combination(self):
+        path = hops((0.004, 0), (0.002, 1))
+        assert mc_wcett(path, 0.4) == pytest.approx(wcett(path, 0.4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HopEtt(ett_s=-1.0, channel=0)
+        with pytest.raises(ValueError):
+            HopEtt(ett_s=1.0, channel=-1)
+        with pytest.raises(ValueError):
+            wcett(hops((0.001, 0)), beta=1.5)
+
+    @given(
+        etts=st.lists(
+            st.floats(min_value=1e-4, max_value=0.1), min_size=1, max_size=8
+        ),
+        channels=st.lists(st.integers(min_value=0, max_value=2), min_size=8,
+                          max_size=8),
+        beta=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_wcett_bounded_by_components(self, etts, channels, beta):
+        path = [
+            HopEtt(ett, channels[i]) for i, ett in enumerate(etts)
+        ]
+        total = path_ett_sum(path)
+        bottleneck = bottleneck_channel_airtime(path)
+        value = wcett(path, beta)
+        assert bottleneck - 1e-12 <= total + 1e-12
+        assert min(bottleneck, total) - 1e-9 <= value <= total + 1e-9
+
+
+class TestAssignments:
+    def test_single_channel(self):
+        assignment = single_channel_assignment([0, 1, 2])
+        assert assignment.shared_channels(0, 1) == (0,)
+        assert assignment.link_channel(1, 2) == 0
+
+    def test_alternating_shares_channels(self):
+        assignment = alternating_assignment(
+            list(range(6)), num_channels=3, radios_per_node=2
+        )
+        for node in range(5):
+            assert assignment.channels_of(node)
+        # Adjacent ids always share (consecutive windows overlap).
+        assert assignment.shared_channels(0, 1)
+
+    def test_alternating_validation(self):
+        with pytest.raises(ValueError):
+            alternating_assignment([0], num_channels=2, radios_per_node=3)
+
+    def test_assignment_validation(self):
+        with pytest.raises(ValueError):
+            ChannelAssignment(num_channels=0)
+        with pytest.raises(ValueError):
+            ChannelAssignment(num_channels=2, radios_by_node={0: (0, 5)})
+        with pytest.raises(ValueError):
+            ChannelAssignment(num_channels=2, radios_by_node={0: (1, 1)})
+
+    def test_coloring_keeps_mesh_connected(self):
+        links = [
+            frozenset(pair)
+            for pair in ((0, 1), (1, 2), (2, 3), (3, 0), (1, 3))
+        ]
+        assignment = coloring_assignment(
+            links, num_channels=3, radios_per_node=2
+        )
+        assert assignment_connectivity(links, assignment) == 1.0
+
+    def test_coloring_diversifies_adjacent_links(self):
+        """A chain's consecutive links should land on different channels."""
+        links = [frozenset((i, i + 1)) for i in range(5)]
+        assignment = coloring_assignment(
+            links, num_channels=3, radios_per_node=3
+        )
+        channels = [
+            assignment.link_channel(i, i + 1) for i in range(5)
+        ]
+        assert all(c is not None for c in channels)
+        diverse = sum(
+            1 for a, b in zip(channels, channels[1:]) if a != b
+        )
+        assert diverse >= 3
+
+    def test_connectivity_metric_empty(self):
+        assignment = single_channel_assignment([0])
+        assert assignment_connectivity([], assignment) == 1.0
+
+
+class TestStudy:
+    def test_sample_mesh_structure(self):
+        mesh = sample_mesh(
+            12,
+            lambda node_ids, links, rng: single_channel_assignment(node_ids),
+            rng=random.Random(2),
+        )
+        assert len(mesh.positions) == 12
+        assert mesh.links
+        for key in mesh.links:
+            assert mesh.ett_by_link[key] > 0
+        a, b = tuple(mesh.links[0])
+        hop = mesh.hop(a, b)
+        assert hop is not None and hop.channel == 0
+
+    def test_path_hops_rejects_missing_links(self):
+        mesh = sample_mesh(
+            10,
+            lambda node_ids, links, rng: single_channel_assignment(node_ids),
+            rng=random.Random(3),
+        )
+        # A fake path over a non-link must return None.
+        non_neighbors = None
+        n = len(mesh.positions)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if frozenset((i, j)) not in mesh.ett_by_link:
+                    non_neighbors = (i, j)
+                    break
+            if non_neighbors:
+                break
+        if non_neighbors:
+            assert mesh.path_hops(list(non_neighbors)) is None
+
+    def test_study_single_channel_never_improves(self):
+        """With one channel, WCETT == ETT: zero improvements possible."""
+        result = run_path_selection_study(
+            num_meshes=2,
+            num_nodes=14,
+            pairs_per_mesh=4,
+            assignment_factory=(
+                lambda node_ids, links, rng: single_channel_assignment(node_ids)
+            ),
+            seed=5,
+        )
+        assert result.pairs_evaluated > 0
+        assert result.wcett_improved == 0
+        assert result.mean_bottleneck_reduction_pct == pytest.approx(0.0)
+
+    def test_study_multichannel_finds_improvements(self):
+        result = run_path_selection_study(
+            num_meshes=3, num_nodes=18, pairs_per_mesh=6, seed=1
+        )
+        assert result.pairs_evaluated > 10
+        assert result.wcett_improved > 0
+        assert result.mean_bottleneck_reduction_pct > 0.0
+        assert 0.0 <= result.improvement_rate <= 1.0
+
+    def test_beta_zero_matches_ett_choice(self):
+        result = run_path_selection_study(
+            num_meshes=2, num_nodes=14, pairs_per_mesh=4, beta=0.0, seed=2
+        )
+        for choice in result.choices:
+            assert choice.wcett_total_s <= choice.ett_total_s + 1e-12

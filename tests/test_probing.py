@@ -1,0 +1,282 @@
+"""Tests for probe agents, estimators, and the NEIGHBOR_TABLE."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import EtxMetric, PpMetric, SppMetric
+from repro.probing.broadcast_probe import BroadcastProbeAgent, LossRatioEstimator
+from repro.probing.manager import (
+    ProbingConfig,
+    ProbingManager,
+    prober_kind_for_metric,
+)
+from repro.probing.neighbor_table import NeighborTable
+from repro.probing.packet_pair import PacketPairAgent, PacketPairEstimator
+from tests.conftest import link, make_chain_network, make_loss_network
+
+
+class TestLossRatioEstimator:
+    def test_unheard_link_has_zero_ratio(self):
+        estimator = LossRatioEstimator()
+        assert estimator.delivery_ratio(100.0) == 0.0
+
+    def test_perfect_reception_saturates_at_one(self):
+        estimator = LossRatioEstimator(window_intervals=10)
+        for i in range(20):
+            estimator.note_received(float(i * 5), 5.0)
+        assert estimator.delivery_ratio(95.0) == pytest.approx(1.0)
+
+    def test_half_loss_measures_half(self):
+        estimator = LossRatioEstimator(window_intervals=10)
+        # Every other probe of a 5 s cadence arrives.
+        for i in range(0, 20, 2):
+            estimator.note_received(float(i * 5), 5.0)
+        assert estimator.delivery_ratio(95.0) == pytest.approx(0.5, abs=0.1)
+
+    def test_window_forgets_old_probes(self):
+        estimator = LossRatioEstimator(window_intervals=10)
+        for i in range(10):
+            estimator.note_received(float(i * 5), 5.0)
+        # Probes stop; 100 s later the window has emptied.
+        assert estimator.delivery_ratio(150.0) == 0.0
+
+    def test_warmup_ramp_is_fair(self):
+        """One probe heard immediately after discovery scores ~1, not 1/w."""
+        estimator = LossRatioEstimator(window_intervals=10)
+        estimator.note_received(1000.0, 5.0)
+        assert estimator.delivery_ratio(1000.0) == pytest.approx(1.0)
+        # Shortly after, the expectation ramps but stays fair (not 1/w).
+        assert estimator.delivery_ratio(1002.0) > 0.5
+
+    def test_ratio_degrades_as_silence_grows(self):
+        estimator = LossRatioEstimator(window_intervals=10)
+        estimator.note_received(0.0, 5.0)
+        early = estimator.delivery_ratio(5.0)
+        later = estimator.delivery_ratio(30.0)
+        assert later < early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossRatioEstimator(window_intervals=0)
+        estimator = LossRatioEstimator()
+        with pytest.raises(ValueError):
+            estimator.note_received(0.0, 0.0)
+
+
+class TestPacketPairEstimator:
+    def make(self) -> PacketPairEstimator:
+        return PacketPairEstimator(
+            ewma_history_weight=0.9, loss_penalty_factor=1.2
+        )
+
+    def complete_pair(self, estimator, seq, at, gap=0.001, size=200):
+        estimator.note_small(seq, at, 10.0)
+        estimator.note_large(seq, at + gap, 10.0, size)
+
+    def test_first_pair_initializes_ewma(self):
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.002)
+        assert estimator.ewma_delay_s == pytest.approx(0.002)
+        assert estimator.pairs_completed == 1
+
+    def test_ewma_weights_history_90_10(self):
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.002)
+        self.complete_pair(estimator, 2, 10.0, gap=0.004)
+        assert estimator.ewma_delay_s == pytest.approx(
+            0.9 * 0.002 + 0.1 * 0.004
+        )
+
+    def test_lost_large_applies_20pct_penalty(self):
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.002)
+        # Pair 2: small arrives, large never does; detected at pair 3.
+        estimator.note_small(2, 10.0, 10.0)
+        estimator.note_small(3, 20.0, 10.0)
+        assert estimator.penalties_applied == 1
+        assert estimator.ewma_delay_s == pytest.approx(0.002 * 1.2)
+
+    def test_lost_small_applies_penalty(self):
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.002)
+        estimator.note_large(2, 10.0, 10.0, 200)  # small of pair 2 lost
+        assert estimator.penalties_applied == 1
+
+    def test_wholly_missed_pairs_penalized_on_gap(self):
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.002)
+        # Pairs 2, 3, 4 vanish entirely; pair 5 arrives.
+        self.complete_pair(estimator, 5, 40.0, gap=0.002)
+        assert estimator.penalties_applied == 3
+
+    def test_silent_link_cost_explodes_at_read_time(self):
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.002)
+        soon = estimator.effective_delay_s(5.0)
+        late = estimator.effective_delay_s(105.0)
+        assert soon == pytest.approx(0.002)
+        # ~10 silent intervals -> 1.2^10 = 6.2x blow-up.
+        assert late > 0.002 * 5.0
+
+    def test_compounding_penalties_grow_exponentially(self):
+        """The paper's PP property: at high loss the cost grows as an
+        exponential function of time."""
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.002)
+        for seq in range(2, 22):  # 20 consecutive losses
+            estimator.note_small(seq, seq * 10.0, 10.0)
+        assert estimator.ewma_delay_s == pytest.approx(0.002 * 1.2 ** 19, rel=1e-6)
+
+    def test_bandwidth_estimate_from_pair(self):
+        estimator = self.make()
+        self.complete_pair(estimator, 1, 0.0, gap=0.001, size=250)
+        assert estimator.bandwidth_bps() == pytest.approx(250 * 8 / 0.001)
+
+    def test_small_probes_feed_delivery_ratio(self):
+        estimator = self.make()
+        for seq in range(1, 11):
+            estimator.note_small(seq, seq * 10.0, 10.0)
+        assert estimator.delivery_ratio(100.0) > 0.9
+
+    def test_no_history_returns_none(self):
+        estimator = self.make()
+        assert estimator.effective_delay_s(100.0) is None
+        assert estimator.bandwidth_bps() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketPairEstimator(ewma_history_weight=1.0)
+        with pytest.raises(ValueError):
+            PacketPairEstimator(loss_penalty_factor=0.9)
+
+    @given(st.lists(st.floats(min_value=1e-4, max_value=0.1), min_size=1,
+                    max_size=30))
+    def test_ewma_stays_within_sample_range(self, gaps):
+        estimator = self.make()
+        for i, gap in enumerate(gaps, start=1):
+            self.complete_pair(estimator, i, i * 10.0, gap=gap)
+        assert min(gaps) - 1e-12 <= estimator.ewma_delay_s <= max(gaps) + 1e-12
+
+
+class TestProbeAgentsOverChannel:
+    def test_broadcast_probes_measure_link_loss(self):
+        """ETX probing over a 30% lossy link converges near df = 0.7."""
+        network = make_loss_network(2, {link(0, 1): 0.3}, seed=5)
+        table = NeighborTable(network.sim, network.nodes[1])
+        agent = BroadcastProbeAgent(
+            network.sim, network.nodes[0], interval_s=5.0
+        )
+        agent.start()
+        network.run(400.0)
+        quality = table.link_quality(0)
+        assert quality.forward_delivery_ratio == pytest.approx(0.7, abs=0.15)
+
+    def test_packet_pair_measures_delay_and_bandwidth(self):
+        network = make_loss_network(2, {link(0, 1): 0.0}, seed=5)
+        table = NeighborTable(network.sim, network.nodes[1])
+        agent = PacketPairAgent(
+            network.sim, network.nodes[0], interval_s=10.0,
+            small_size_bytes=60, large_size_bytes=200,
+        )
+        agent.start()
+        network.run(200.0)
+        quality = table.link_quality(0)
+        assert quality.packet_pair_delay_s is not None
+        # The inter-arrival is one large-frame airtime: ~1.1 ms at 2 Mbps.
+        assert 0.0005 < quality.packet_pair_delay_s < 0.01
+        assert quality.bandwidth_bps is not None
+        assert quality.bandwidth_bps < 2e6  # headers make it sub-nominal
+
+    def test_lossy_link_pp_cost_exceeds_clean_link(self):
+        costs = {}
+        for name, loss in (("clean", 0.0), ("lossy", 0.5)):
+            network = make_loss_network(2, {link(0, 1): loss}, seed=6)
+            table = NeighborTable(network.sim, network.nodes[1])
+            agent = PacketPairAgent(network.sim, network.nodes[0])
+            agent.start()
+            network.run(400.0)
+            costs[name] = table.link_cost(0, PpMetric())
+        assert costs["lossy"] > 2.0 * costs["clean"]
+
+    def test_agent_stop_halts_probes(self):
+        network = make_chain_network(2, 100.0)
+        agent = BroadcastProbeAgent(network.sim, network.nodes[0])
+        agent.start()
+        network.run(20.0)
+        sent_before = network.nodes[0].counters.get("tx.probe.packets")
+        agent.stop()
+        network.run(60.0)
+        assert network.nodes[0].counters.get("tx.probe.packets") == sent_before
+        assert sent_before >= 3
+
+
+class TestNeighborTable:
+    def test_unknown_neighbor_is_unusable(self):
+        network = make_chain_network(2, 100.0)
+        table = NeighborTable(network.sim, network.nodes[0])
+        quality = table.link_quality(99)
+        assert quality.forward_delivery_ratio == 0.0
+        assert not EtxMetric().is_usable(EtxMetric().link_cost(quality))
+        assert table.link_cost(99, SppMetric()) == 0.0
+
+    def test_neighbors_listing(self):
+        network = make_loss_network(3, {link(0, 1): 0.0, link(1, 2): 0.0})
+        table = NeighborTable(network.sim, network.nodes[1])
+        BroadcastProbeAgent(network.sim, network.nodes[0]).start()
+        PacketPairAgent(network.sim, network.nodes[2]).start()
+        network.run(60.0)
+        assert table.neighbors() == [0, 2]
+
+
+class TestProbingManager:
+    def test_prober_kind_mapping(self):
+        assert prober_kind_for_metric("etx") == "broadcast"
+        assert prober_kind_for_metric("metx") == "broadcast"
+        assert prober_kind_for_metric("spp") == "broadcast"
+        assert prober_kind_for_metric("pp") == "pair"
+        assert prober_kind_for_metric("ett") == "pair"
+        assert prober_kind_for_metric("hopcount") is None
+        with pytest.raises(ValueError):
+            prober_kind_for_metric("bogus")
+
+    def test_rate_multiplier_scales_intervals(self):
+        config = ProbingConfig(rate_multiplier=5.0)
+        assert config.effective_broadcast_interval_s == pytest.approx(1.0)
+        assert config.effective_pair_interval_s == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            ProbingConfig(rate_multiplier=0.0)
+
+    def test_manager_attaches_tables_and_counts_bytes(self):
+        network = make_chain_network(3, 100.0)
+        manager = ProbingManager(network, SppMetric())
+        manager.start()
+        network.run(30.0)
+        assert set(manager.tables) == {0, 1, 2}
+        assert manager.probe_bytes_sent() > 0
+        # SPP probing is broadcast probes only.
+        assert network.total_counter("tx.probe_pair_small.bytes") == 0
+
+    def test_pair_metrics_send_pairs(self):
+        network = make_chain_network(2, 100.0)
+        manager = ProbingManager(network, PpMetric())
+        manager.start()
+        network.run(45.0)
+        smalls = network.total_counter("tx.probe_pair_small.packets")
+        larges = network.total_counter("tx.probe_pair_large.packets")
+        assert smalls == larges
+        assert smalls >= 4  # two nodes, ~10 s cadence
+
+    def test_higher_rate_sends_proportionally_more(self):
+        totals = {}
+        for rate in (1.0, 5.0):
+            network = make_chain_network(2, 100.0)
+            manager = ProbingManager(
+                network, SppMetric(), ProbingConfig(rate_multiplier=rate)
+            )
+            manager.start()
+            network.run(100.0)
+            totals[rate] = network.total_counter("tx.probe.packets")
+        ratio = totals[5.0] / totals[1.0]
+        assert 3.5 < ratio < 6.5

@@ -1,0 +1,240 @@
+"""Tests for RNG streams, timers, periodic tasks, and trace utilities."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import CounterSet, TraceRecorder, WelfordAccumulator
+
+
+class TestRngRegistry:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "fading") == derive_seed(1, "fading")
+
+    def test_derive_seed_differs_by_name_and_seed(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_streams_are_cached(self):
+        registry = RngRegistry(5)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_streams_are_independent(self):
+        registry = RngRegistry(5)
+        a = [registry.stream("a").random() for _ in range(5)]
+        # Drawing from stream b must not disturb stream a's future.
+        registry2 = RngRegistry(5)
+        registry2.stream("b").random()
+        a2 = [registry2.stream("a").random() for _ in range(5)]
+        assert a == a2
+
+    def test_fork_changes_universe_deterministically(self):
+        base = RngRegistry(5)
+        fork1 = base.fork("run1")
+        fork1_again = RngRegistry(5).fork("run1")
+        assert fork1.stream("x").random() == fork1_again.stream("x").random()
+
+    def test_stream_names_tracks_creation(self):
+        registry = RngRegistry(0)
+        registry.stream("b")
+        registry.stream("a")
+        assert registry.stream_names() == ["a", "b"]
+
+
+class TestTimer:
+    def test_fires_once_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_restart_resets_countdown(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.schedule(2.0, lambda: timer.start(3.0))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_running_and_expires_at(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        timer.start(2.0)
+        assert timer.running
+        assert timer.expires_at == 2.0
+        sim.run()
+        assert not timer.running
+
+
+class TestPeriodicTask:
+    def test_fires_at_fixed_interval(self, sim):
+        times = []
+        task = PeriodicTask(sim, 2.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=9.0)
+        assert times == [2.0, 4.0, 6.0, 8.0]
+        assert task.firings == 4
+
+    def test_initial_delay_overrides_first_gap(self, sim):
+        times = []
+        task = PeriodicTask(sim, 5.0, lambda: times.append(sim.now))
+        task.start(initial_delay=1.0)
+        sim.run(until=12.0)
+        assert times == [1.0, 6.0, 11.0]
+
+    def test_stop_halts_future_firings(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        task.start()
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_jitter_keeps_gaps_in_bounds(self):
+        simulator = Simulator(seed=9)
+        times = []
+        task = PeriodicTask(
+            simulator,
+            10.0,
+            lambda: times.append(simulator.now),
+            jitter=0.1,
+            rng=simulator.rng.stream("jit"),
+        )
+        task.start()
+        simulator.run(until=500.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(9.0 <= gap <= 11.0 for gap in gaps)
+        # Jitter must actually vary the gaps.
+        assert len({round(g, 6) for g in gaps}) > 1
+
+    def test_jitter_requires_rng(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 1.0, lambda: None, jitter=0.5)
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_set_interval_applies_to_next_gap(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        task.start()
+        sim.schedule(1.5, lambda: task.set_interval(3.0))
+        sim.run(until=9.0)
+        assert times == [1.0, 2.0, 5.0, 8.0]
+
+    def test_callback_may_stop_the_task(self, sim):
+        times = []
+
+        def once():
+            times.append(sim.now)
+            task.stop()
+
+        task = PeriodicTask(sim, 1.0, once)
+        task.start()
+        sim.run(until=5.0)
+        assert times == [1.0]
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet()
+        counters.add("x")
+        counters.add("x", 2.5)
+        assert counters.get("x") == 3.5
+        assert counters["missing"] == 0.0
+
+    def test_prefix_total(self):
+        counters = CounterSet()
+        counters.add("tx.data.bytes", 100)
+        counters.add("tx.probe.bytes", 32)
+        counters.add("rx.data.bytes", 50)
+        assert counters.total("tx.") == 132
+
+    def test_merge(self):
+        a = CounterSet()
+        b = CounterSet()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_names_and_contains(self):
+        counters = CounterSet()
+        counters.add("b")
+        counters.add("a")
+        assert counters.names() == ["a", "b"]
+        assert "a" in counters
+        assert "z" not in counters
+
+
+class TestTraceRecorder:
+    def test_disabled_recorder_records_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(1.0, "tag", value=1)
+        assert recorder.entries == []
+
+    def test_record_and_filter(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(1.0, "a", x=1)
+        recorder.record(2.0, "b")
+        recorder.record(3.0, "a", x=2)
+        assert [e.time for e in recorder.with_tag("a")] == [1.0, 3.0]
+        assert recorder.tags() == ["a", "b"]
+
+    def test_bounded_capacity(self):
+        recorder = TraceRecorder(enabled=True, max_entries=2)
+        for i in range(5):
+            recorder.record(float(i), "t")
+        assert len(recorder.entries) == 2
+        assert recorder.dropped == 3
+
+    def test_iter_between(self):
+        recorder = TraceRecorder(enabled=True)
+        for i in range(5):
+            recorder.record(float(i), "t")
+        assert [e.time for e in recorder.iter_between(1.0, 3.0)] == [1.0, 2.0]
+
+
+class TestWelford:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    def test_matches_statistics_module(self, values):
+        acc = WelfordAccumulator()
+        for v in values:
+            acc.add(v)
+        assert acc.count == len(values)
+        assert acc.mean == pytest.approx(statistics.fmean(values), abs=1e-6, rel=1e-9)
+        assert acc.variance == pytest.approx(
+            statistics.variance(values), abs=1e-6, rel=1e-6
+        )
+        assert acc.minimum == min(values)
+        assert acc.maximum == max(values)
+
+    def test_single_sample_has_zero_variance(self):
+        acc = WelfordAccumulator()
+        acc.add(5.0)
+        assert acc.variance == 0.0
+        assert acc.stddev == 0.0

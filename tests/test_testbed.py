@@ -1,0 +1,210 @@
+"""Tests for the testbed emulation: floor map, link model, ping, emulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import RngRegistry
+from repro.testbed.emulator import (
+    DEFAULT_GROUPS,
+    TestbedScenarioConfig,
+    build_testbed_scenario,
+)
+from repro.testbed.floormap import (
+    TESTBED_NODE_IDS,
+    lossy_link_keys,
+    low_loss_link_keys,
+    testbed_links,
+    testbed_positions,
+)
+from repro.testbed.linkmodel import (
+    LOSS_POWER_MW,
+    STRONG_POWER_MW,
+    WEAK_POWER_MW,
+    LinkProfile,
+    TimeVaryingLoss,
+    testbed_radio_params as make_testbed_params,
+)
+from repro.testbed.ping import classify_links_by_ping, symmetric_classification
+
+
+class TestFloorMap:
+    def test_eight_nodes_with_paper_labels(self):
+        assert TESTBED_NODE_IDS == (1, 2, 3, 4, 5, 7, 9, 10)
+        assert set(testbed_positions()) == set(TESTBED_NODE_IDS)
+
+    def test_links_reference_real_nodes(self):
+        nodes = set(TESTBED_NODE_IDS)
+        for link_def in testbed_links():
+            assert link_def.node_a in nodes
+            assert link_def.node_b in nodes
+            assert link_def.node_a != link_def.node_b
+
+    def test_narrative_links_present(self):
+        """The links the Section 5.3 narrative depends on."""
+        lossy = set(lossy_link_keys())
+        low = set(low_loss_link_keys())
+        # One-hop lossy shortcuts:
+        assert frozenset((2, 5)) in lossy
+        assert frozenset((4, 7)) in lossy
+        assert frozenset((1, 3)) in lossy
+        assert frozenset((9, 3)) in lossy
+        # Their two-hop low-loss alternatives:
+        assert frozenset((2, 10)) in low and frozenset((10, 5)) in low
+        assert frozenset((4, 9)) in low and frozenset((9, 7)) in low
+
+    def test_no_link_both_classes(self):
+        assert not set(lossy_link_keys()) & set(low_loss_link_keys())
+
+    def test_graph_is_connected(self):
+        adjacency = {}
+        for link_def in testbed_links():
+            adjacency.setdefault(link_def.node_a, set()).add(link_def.node_b)
+            adjacency.setdefault(link_def.node_b, set()).add(link_def.node_a)
+        seen = set()
+        stack = [TESTBED_NODE_IDS[0]]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        assert seen == set(TESTBED_NODE_IDS)
+
+
+class TestTimeVaryingLoss:
+    @given(
+        low=st.floats(min_value=0.0, max_value=0.5),
+        spread=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=99),
+        probes=st.lists(
+            st.floats(min_value=0.0, max_value=2000.0),
+            min_size=1, max_size=20,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_stays_in_band(self, low, spread, seed, probes):
+        process = TimeVaryingLoss(low, low + spread, random.Random(seed))
+        for t in sorted(probes):
+            assert low <= process.loss_at(t) <= low + spread
+
+    def test_walk_actually_moves(self):
+        process = TimeVaryingLoss(0.4, 0.6, random.Random(7),
+                                  update_interval_s=5.0)
+        values = {round(process.loss_at(t), 6) for t in range(0, 500, 5)}
+        assert len(values) > 10
+
+    def test_deterministic_given_rng(self):
+        a = TimeVaryingLoss(0.4, 0.6, random.Random(3))
+        b = TimeVaryingLoss(0.4, 0.6, random.Random(3))
+        assert [a.loss_at(t) for t in (0, 50, 100)] == [
+            b.loss_at(t) for t in (0, 50, 100)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeVaryingLoss(0.8, 0.2, random.Random(0))
+        with pytest.raises(ValueError):
+            TimeVaryingLoss(0.0, 1.5, random.Random(0))
+        with pytest.raises(ValueError):
+            TimeVaryingLoss(0.1, 0.2, random.Random(0), update_interval_s=0.0)
+
+
+class TestLinkProfile:
+    def test_power_levels_satisfy_capture_design(self):
+        """Strong frames must capture over weak ones; equal frames must
+        collide (10 dB SINR rule)."""
+        params = make_testbed_params()
+        assert STRONG_POWER_MW / WEAK_POWER_MW >= params.sinr_threshold_linear
+        assert WEAK_POWER_MW >= params.rx_threshold_mw
+        assert LOSS_POWER_MW < params.rx_threshold_mw
+        assert LOSS_POWER_MW >= params.carrier_sense_threshold_mw
+
+    def test_rejects_sub_loss_power(self):
+        with pytest.raises(ValueError):
+            LinkProfile(
+                loss=TimeVaryingLoss(0.0, 0.1, random.Random(0)),
+                power_mw=LOSS_POWER_MW / 2,
+            )
+
+
+class TestPingClassification:
+    def test_recovers_figure4_classes(self):
+        """Ping probing over the emulated testbed reproduces the Figure 4
+        solid/dashed classification."""
+        scenario = build_testbed_scenario(
+            "odmrp", TestbedScenarioConfig(run_seed=2)
+        )
+        directed = classify_links_by_ping(
+            scenario.network, pings_per_node=150, lossy_threshold=0.25
+        )
+        merged = symmetric_classification(directed)
+        verdict_by_label = {
+            frozenset(
+                scenario.index_to_label[i] for i in key
+            ): verdict.lossy
+            for key, verdict in merged.items()
+        }
+        for key in lossy_link_keys():
+            assert verdict_by_label[key] is True, f"{set(key)} should be lossy"
+        for key in low_loss_link_keys():
+            assert verdict_by_label[key] is False, (
+                f"{set(key)} should be low-loss"
+            )
+
+    def test_validation(self):
+        scenario = build_testbed_scenario("odmrp")
+        with pytest.raises(ValueError):
+            classify_links_by_ping(scenario.network, pings_per_node=0)
+
+
+class TestEmulator:
+    def test_group_setup_matches_paper(self):
+        scenario = build_testbed_scenario("odmrp")
+        assert DEFAULT_GROUPS == ((2, (3, 5)), (4, (1, 7)))
+        sources = {
+            (g, scenario.index_to_label[s])
+            for g, s in scenario.groups.all_sources()
+        }
+        assert sources == {(1, 2), (2, 4)}
+        members = {
+            (g, scenario.index_to_label[m])
+            for g, m in scenario.groups.all_members()
+        }
+        assert members == {(1, 3), (1, 5), (2, 1), (2, 7)}
+
+    def test_end_to_end_delivery(self):
+        config = TestbedScenarioConfig(duration_s=60.0, warmup_s=10.0)
+        scenario = build_testbed_scenario("spp", config)
+        scenario.run()
+        assert scenario.sink.total_packets > 0
+        assert scenario.offered_packets() > 0
+        assert scenario.expected_deliveries() == 2 * scenario.offered_packets()
+
+    def test_same_seed_same_loss_environment_across_protocols(self):
+        config = TestbedScenarioConfig(run_seed=5)
+        a = build_testbed_scenario("odmrp", config)
+        b = build_testbed_scenario("spp", config)
+        rates_a = a.network.channel.current_loss_rates()
+        rates_b = b.network.channel.current_loss_rates()
+        assert rates_a == rates_b
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            build_testbed_scenario("wcett")
+
+    def test_heavily_used_links_structure(self):
+        config = TestbedScenarioConfig(duration_s=60.0, warmup_s=10.0)
+        scenario = build_testbed_scenario("pp", config)
+        scenario.run()
+        links = scenario.heavily_used_links(min_share=0.05)
+        assert links, "some links must carry data"
+        labels = set(TESTBED_NODE_IDS)
+        for src, dst, share in links:
+            assert src in labels and dst in labels
+            assert 0.05 <= share <= 1.0
+        shares = [share for _s, _d, share in links]
+        assert shares == sorted(shares, reverse=True)

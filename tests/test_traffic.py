@@ -1,0 +1,158 @@
+"""Tests for CBR sources, sinks, and group scenario construction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import Packet, PacketKind
+from repro.odmrp.messages import DataPayload
+from repro.sim.engine import Simulator
+from repro.traffic.cbr import CbrSource
+from repro.traffic.groups import GroupScenario, GroupSpec, build_group_scenario
+from repro.traffic.sink import MulticastSink
+from tests.conftest import link, make_loss_network
+from tests.test_odmrp import build_routers
+
+
+class TestCbrSource:
+    def make_pair(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        deliveries = []
+        routers = build_routers(network, deliveries=deliveries)
+        routers[1].join_group(1)
+        return network, routers, deliveries
+
+    def test_rate_and_size(self):
+        network, routers, deliveries = self.make_pair()
+        source = CbrSource(
+            network.sim, routers[0], group_id=1,
+            rate_pps=20.0, packet_size_bytes=512,
+        )
+        source.start(at=1.0, stop_at=11.0)
+        network.run(12.0)
+        # 10 s at 20 pkt/s: ~200 packets (first fires one gap after start).
+        assert 195 <= source.packets_sent <= 200
+        assert len(deliveries) == source.packets_sent
+
+    def test_stop_at_halts_traffic(self):
+        network, routers, _ = self.make_pair()
+        source = CbrSource(network.sim, routers[0], group_id=1, rate_pps=10.0)
+        source.start(at=0.5, stop_at=2.5)
+        network.run(10.0)
+        sent_at_stop = source.packets_sent
+        assert sent_at_stop <= 20
+        network.run(15.0)
+        assert source.packets_sent == sent_at_stop
+
+    def test_start_marks_router_as_source(self):
+        network, routers, _ = self.make_pair()
+        source = CbrSource(network.sim, routers[0], group_id=7)
+        source.start(at=0.1)
+        network.run(1.0)
+        assert network.nodes[0].counters.get("odmrp.query_originated") >= 1
+
+    def test_validation(self):
+        network, routers, _ = self.make_pair()
+        with pytest.raises(ValueError):
+            CbrSource(network.sim, routers[0], 1, rate_pps=0.0)
+        with pytest.raises(ValueError):
+            CbrSource(network.sim, routers[0], 1, packet_size_bytes=0)
+        source = CbrSource(network.sim, routers[0], 1)
+        with pytest.raises(ValueError):
+            source.start(at=1.0, stop_at=0.5)
+
+
+class TestMulticastSink:
+    def deliver(self, sink, receiver, group, source, seq, created, now):
+        sink.sim._now = now  # direct clock poke for unit-level testing
+        packet = Packet(PacketKind.DATA, source, 512, created)
+        sink.on_deliver(
+            packet, DataPayload(group, source, seq), receiver
+        )
+
+    def test_flow_accounting(self):
+        sink = MulticastSink(Simulator())
+        self.deliver(sink, receiver=5, group=1, source=0, seq=1,
+                     created=1.0, now=1.5)
+        self.deliver(sink, receiver=5, group=1, source=0, seq=2,
+                     created=2.0, now=2.25)
+        self.deliver(sink, receiver=6, group=2, source=0, seq=1,
+                     created=2.0, now=2.1)
+        assert sink.total_packets == 3
+        assert sink.total_bytes == 3 * 512
+        assert sink.packets_for_receiver(5) == 2
+        assert sink.packets_for_group(2) == 1
+        record = sink.flows[(5, 1, 0)]
+        assert record.delay.mean == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_mean_delay_and_throughput(self):
+        sink = MulticastSink(Simulator())
+        assert sink.mean_delay_s() is None
+        self.deliver(sink, 5, 1, 0, 1, created=0.0, now=0.4)
+        assert sink.mean_delay_s() == pytest.approx(0.4)
+        assert sink.throughput_bps(10.0) == pytest.approx(512 * 8 / 10.0)
+        with pytest.raises(ValueError):
+            sink.throughput_bps(0.0)
+
+    def test_delivery_ratio(self):
+        sink = MulticastSink(Simulator())
+        self.deliver(sink, 5, 1, 0, 1, created=0.0, now=0.1)
+        assert sink.delivery_ratio(4) == pytest.approx(0.25)
+        assert sink.delivery_ratio(0) == 0.0
+
+
+class TestGroupScenario:
+    def test_source_member_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            GroupSpec(group_id=1, source_ids=(1,), member_ids=(1, 2))
+
+    def test_build_shape(self):
+        scenario = build_group_scenario(
+            50, num_groups=2, members_per_group=10, sources_per_group=1,
+            rng=random.Random(3),
+        )
+        assert len(scenario.groups) == 2
+        for group in scenario.groups:
+            assert len(group.member_ids) == 10
+            assert len(group.source_ids) == 1
+        assert len(scenario.all_members()) == 20
+        assert len(scenario.all_sources()) == 2
+
+    def test_expected_deliveries_per_packet(self):
+        scenario = build_group_scenario(
+            20, num_groups=1, members_per_group=7, rng=random.Random(1)
+        )
+        assert scenario.expected_deliveries_per_packet(1) == 7
+        with pytest.raises(KeyError):
+            scenario.expected_deliveries_per_packet(99)
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(ValueError):
+            build_group_scenario(5, num_groups=1, members_per_group=10)
+
+    @given(
+        num_nodes=st.integers(min_value=12, max_value=60),
+        groups=st.integers(min_value=1, max_value=3),
+        sources=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_roles_distinct_within_group(self, num_nodes, groups, sources, seed):
+        scenario = build_group_scenario(
+            num_nodes,
+            num_groups=groups,
+            members_per_group=8,
+            sources_per_group=sources,
+            rng=random.Random(seed),
+        )
+        for group in scenario.groups:
+            all_ids = group.source_ids + group.member_ids
+            assert len(set(all_ids)) == len(all_ids)
+            assert all(0 <= i < num_nodes for i in all_ids)
+
+    def test_same_seed_same_assignment(self):
+        a = build_group_scenario(30, rng=random.Random(9))
+        b = build_group_scenario(30, rng=random.Random(9))
+        assert a == b
