@@ -1,0 +1,158 @@
+"""Performance-trajectory benchmark: engine micro + sweep meso.
+
+Unlike the figure benches (which validate *numbers* against the paper),
+this file tracks how fast the simulator itself is, so perf work in later
+PRs has a recorded trajectory to compare against.  It measures:
+
+* **engine micro** -- raw event churn through ``Simulator.run()`` with
+  trivial callbacks: pure engine overhead, in events/second.
+* **sweep meso** -- a fixed-seed multi-protocol sweep executed serially
+  and through the parallel runner (``jobs=2``), asserting the two
+  produce *bit-identical* ``RunResult`` lists before timing them.
+
+Results land in ``BENCH_perf.json`` at the repo root: events/sec,
+wall-clock per run, and the parallel speedup (speedup tracks the host's
+core count; on a single-core CI box it is ~1.0 by construction, which is
+why the identity assertion, not the speedup, is the correctness gate).
+
+Run via pytest (``pytest benchmarks/bench_perf_engine.py -s``) or
+directly (``PYTHONPATH=src python benchmarks/bench_perf_engine.py``).
+Scale knobs: ``REPRO_PERF_EVENTS`` (micro events), ``REPRO_PERF_SEEDS``
+(meso seeds), ``REPRO_JOBS`` (meso pool size).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List
+
+from repro.experiments.parallel import execute_runs, sweep_specs
+from repro.experiments.scenarios import (
+    PROTOCOL_NAMES,
+    SimulationScenarioConfig,
+)
+from repro.sim.engine import Simulator
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
+
+#: Small but protocol-complete scenario: all six variants finish in
+#: seconds per run while still exercising MAC, fading, and probing paths.
+MESO_CONFIG = SimulationScenarioConfig(
+    num_nodes=16,
+    area_width_m=700.0,
+    area_height_m=700.0,
+    num_groups=1,
+    members_per_group=3,
+    duration_s=25.0,
+    warmup_s=8.0,
+)
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def engine_events_per_sec(n_events: int) -> float:
+    """Event churn through a self-rescheduling callback chain."""
+    sim = Simulator(seed=1)
+    remaining = [n_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    for i in range(100):
+        sim.schedule(0.001 * (i + 1), tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    # The 100 seeded chains overshoot slightly (in-flight events drain
+    # after the target is hit); rate over what actually executed.
+    assert sim.events_executed >= n_events
+    return sim.events_executed / elapsed
+
+
+def _write_report(section: str, payload: Dict) -> None:
+    """Merge one section into BENCH_perf.json (sections run independently)."""
+    report: Dict = {}
+    try:
+        with open(BENCH_PATH, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    report["python"] = platform.python_version()
+    report["cpu_count"] = os.cpu_count()
+    report[section] = payload
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def bench_engine_micro() -> None:
+    """Record serial engine event throughput."""
+    n_events = _env_int("REPRO_PERF_EVENTS", 200_000)
+    rates = [engine_events_per_sec(n_events) for _ in range(3)]
+    best = max(rates)
+    _write_report("engine_micro", {
+        "events": n_events,
+        "events_per_sec_best": round(best),
+        "events_per_sec_all": [round(rate) for rate in rates],
+    })
+    print(f"\nengine micro: {best:,.0f} events/s (best of {len(rates)})")
+    assert best > 0
+
+
+def bench_sweep_parallel_vs_serial() -> None:
+    """Time the sweep both ways; identity first, speedup second."""
+    seeds = tuple(range(1, _env_int("REPRO_PERF_SEEDS", 2) + 1))
+    jobs = _env_int("REPRO_JOBS", 2) or (os.cpu_count() or 1)
+    specs = sweep_specs(MESO_CONFIG, PROTOCOL_NAMES, seeds)
+
+    start = time.perf_counter()
+    serial = execute_runs(specs, jobs=1, use_cache=False)
+    wall_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = execute_runs(specs, jobs=jobs, use_cache=False)
+    wall_parallel = time.perf_counter() - start
+
+    # The gate: parallel execution must not change a single bit of any
+    # result.  Dataclass equality covers every field including counters.
+    mismatches: List[str] = [
+        f"{spec.protocol}/seed={spec.seed}"
+        for spec, a, b in zip(specs, serial, pooled)
+        if a != b
+    ]
+    assert not mismatches, f"parallel results diverged: {mismatches}"
+    assert all(run.error is None for run in pooled)
+
+    speedup = wall_serial / wall_parallel if wall_parallel > 0 else 0.0
+    _write_report("sweep_meso", {
+        "runs": len(specs),
+        "protocols": list(PROTOCOL_NAMES),
+        "seeds": list(seeds),
+        "jobs": jobs,
+        "wall_serial_s": round(wall_serial, 3),
+        "wall_parallel_s": round(wall_parallel, 3),
+        "wall_per_run_serial_s": round(wall_serial / len(specs), 3),
+        "speedup_vs_serial": round(speedup, 3),
+        "results_identical": True,
+    })
+    print(
+        f"\nsweep meso: {len(specs)} runs, serial {wall_serial:.1f}s, "
+        f"jobs={jobs} {wall_parallel:.1f}s, speedup {speedup:.2f}x "
+        f"(identical results)"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    bench_engine_micro()
+    bench_sweep_parallel_vs_serial()
+    print(f"wrote {os.path.normpath(BENCH_PATH)}")
+    sys.exit(0)

@@ -8,6 +8,9 @@ through environment variables:
 * ``REPRO_TOPOLOGIES``    -- random topologies per protocol (paper: 10)
 * ``REPRO_RUNS``          -- testbed repetitions (paper: 5)
 * ``REPRO_NODES``         -- simulation network size (paper: 50)
+* ``REPRO_JOBS``          -- worker processes for the shared simulation
+  sweep (0 = one per CPU; default 1).  Runs are seed-deterministic, so
+  parallel sweeps report identical numbers, just sooner.
 
 Example paper-scale run (tens of minutes):
 
@@ -47,6 +50,10 @@ def testbed_seeds() -> Tuple[int, ...]:
     return tuple(range(1, env_int("REPRO_RUNS", 2) + 1))
 
 
+def sweep_jobs() -> int:
+    return env_int("REPRO_JOBS", 1)
+
+
 def simulation_config() -> SimulationScenarioConfig:
     return SimulationScenarioConfig(
         num_nodes=env_int("REPRO_NODES", 50),
@@ -72,4 +79,6 @@ def shared_simulation_sweep() -> List[RunResult]:
     """
     from repro.experiments.figures import simulation_sweep
 
-    return simulation_sweep(simulation_config(), topology_seeds())
+    return simulation_sweep(
+        simulation_config(), topology_seeds(), jobs=sweep_jobs()
+    )

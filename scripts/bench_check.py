@@ -1,0 +1,53 @@
+"""Smoke gate for the parallel experiment runner.
+
+Runs a few-second mini-sweep serially, with a pool of 2 workers, and
+from the warm disk cache, and fails (exit 1) if any pass produces a
+``RunResult`` that differs from the serial baseline in any field.  This
+is the cheap always-on guard that the parallel subsystem preserves the
+simulator's bit-determinism; ``benchmarks/bench_perf_engine.py`` is the
+timed version.
+
+The same check runs under pytest as the ``perfsmoke`` marker
+(``pytest -m perfsmoke``); it is deselected from the default tier-1 run
+to keep that fast.
+
+Usage: PYTHONPATH=src python scripts/bench_check.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.experiments.parallel import verify_parallel_consistency
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="pool size for the parallel pass (default 2)")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-check-") as cache:
+        divergences = verify_parallel_consistency(
+            jobs=args.jobs, cache_dir=cache
+        )
+    elapsed = time.perf_counter() - start
+
+    if divergences:
+        print(f"bench_check: FAIL ({elapsed:.1f}s)", file=sys.stderr)
+        for line in divergences:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"bench_check: OK ({elapsed:.1f}s) -- serial, jobs={args.jobs}, "
+        "and warm-cache sweeps are bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

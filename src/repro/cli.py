@@ -40,6 +40,28 @@ def _seeds(args: argparse.Namespace) -> tuple:
     return tuple(range(1, args.topologies + 1))
 
 
+def _warn_failed_runs(runs) -> bool:
+    """Surface error-annotated runs (parallel sweeps don't raise).
+
+    Returns True when at least one run succeeded, so callers can bail
+    out before aggregating an empty sweep.
+    """
+    failed = [run for run in runs if run.error is not None]
+    if not failed:
+        return True
+    print(
+        f"WARNING: {len(failed)} run(s) failed and are excluded "
+        "from the averages:"
+    )
+    for run in failed:
+        reason = run.error.strip().splitlines()[-1]
+        print(f"  {run.protocol} seed={run.topology_seed}: {reason}")
+    if len(failed) == len(list(runs)):
+        print("ERROR: every run failed; nothing to aggregate.")
+        return False
+    return True
+
+
 def cmd_fig1(args: argparse.Namespace) -> int:
     result = figures.figure1_metx_vs_spp()
     print(render_comparison(
@@ -65,9 +87,14 @@ def cmd_fig2_sim(args: argparse.Namespace) -> int:
     seeds = _seeds(args)
     print(
         f"running 6 protocols x {len(seeds)} topologies "
-        f"({config.num_nodes} nodes, {config.duration_s:.0f} s each) ..."
+        f"({config.num_nodes} nodes, {config.duration_s:.0f} s each, "
+        f"jobs={args.jobs}) ..."
     )
-    runs = figures.simulation_sweep(config, seeds)
+    runs = figures.simulation_sweep(
+        config, seeds, jobs=args.jobs, use_cache=not args.no_cache
+    )
+    if not _warn_failed_runs(runs):
+        return 1
     aggregates = aggregate_runs(runs)
     throughput = normalized_metric_table(aggregates, "throughput")
     print()
@@ -94,7 +121,11 @@ def cmd_fig2_sim(args: argparse.Namespace) -> int:
 
 def cmd_table1(args: argparse.Namespace) -> int:
     config = _simulation_config(args)
-    result = figures.table1_probing_overhead(config, _seeds(args))
+    result = figures.table1_probing_overhead(
+        config, _seeds(args), jobs=args.jobs, use_cache=not args.no_cache
+    )
+    if not _warn_failed_runs(result.runs):
+        return 1
     print(render_comparison(
         result.measured, result.paper, value_label="overhead %",
         title="Table 1 / probing overhead",
@@ -196,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="seconds of simulated time (paper: 400)")
             sub.add_argument("--topologies", type=int, default=1,
                              help="random topologies (paper: 10)")
+            sub.add_argument("--jobs", type=int, default=1,
+                             help="parallel worker processes "
+                                  "(0 = one per CPU; default 1, serial)")
+            sub.add_argument("--no-cache", action="store_true",
+                             help="recompute every run instead of reusing "
+                                  "the on-disk result cache (.repro_cache/)")
         if testbed:
             sub.add_argument("--duration", type=float, default=400.0,
                              help="seconds of simulated time (paper: 400)")

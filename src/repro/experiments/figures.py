@@ -168,9 +168,20 @@ def simulation_sweep(
     config: Optional[SimulationScenarioConfig] = None,
     seeds: Iterable[int] = (1, 2, 3),
     protocols: Sequence[str] = PROTOCOL_NAMES,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> List[RunResult]:
-    """Run the Section 4 comparison once; several figures share it."""
-    return compare_protocols(config, protocols=protocols, topology_seeds=seeds)
+    """Run the Section 4 comparison once; several figures share it.
+
+    ``jobs``/``use_cache`` fan the grid out across processes and replay
+    unchanged runs from disk (see :mod:`repro.experiments.parallel`);
+    results are bit-identical to the serial path either way.
+    """
+    return compare_protocols(
+        config, protocols=protocols, topology_seeds=seeds,
+        jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+    )
 
 
 def figure2_throughput_simulations(
@@ -238,10 +249,15 @@ def table1_probing_overhead(
     config: Optional[SimulationScenarioConfig] = None,
     seeds: Iterable[int] = (1, 2, 3),
     runs: Optional[List[RunResult]] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> FigureResult:
     """Table 1: probe bytes as a percentage of data bytes received."""
     if runs is None:
-        runs = simulation_sweep(config, seeds, protocols=METRIC_PROTOCOLS)
+        runs = simulation_sweep(
+            config, seeds, protocols=METRIC_PROTOCOLS,
+            jobs=jobs, use_cache=use_cache,
+        )
     aggregates = aggregate_runs(runs)
     measured = {
         name: agg.mean_probe_overhead_pct

@@ -22,6 +22,9 @@ class RunResult:
     mean_delay_s: Optional[float]
     probe_bytes: float
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Traceback text when the run crashed (parallel sweeps annotate
+    #: failures instead of aborting); None for a successful run.
+    error: Optional[str] = None
 
     @property
     def throughput_bps(self) -> float:
@@ -54,9 +57,15 @@ class AggregateResult:
 
 
 def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
-    """Group per-topology runs by protocol and average them."""
+    """Group per-topology runs by protocol and average them.
+
+    Error-annotated runs (from crashed parallel workers) carry no
+    measurements and are excluded from the averages.
+    """
     by_protocol: Dict[str, List[RunResult]] = {}
     for run in runs:
+        if run.error is not None:
+            continue
         by_protocol.setdefault(run.protocol, []).append(run)
     aggregates: Dict[str, AggregateResult] = {}
     for protocol, protocol_runs in by_protocol.items():

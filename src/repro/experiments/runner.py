@@ -7,7 +7,6 @@ config object.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.experiments.results import RunResult
@@ -71,15 +70,31 @@ def compare_protocols(
     protocols: Sequence[str] = PROTOCOL_NAMES,
     topology_seeds: Iterable[int] = (1,),
     progress: Optional[ProgressCallback] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> List[RunResult]:
-    """The paper's comparison loop: every protocol on every topology."""
+    """The paper's comparison loop: every protocol on every topology.
+
+    ``jobs`` fans the (protocol, seed) grid out across worker processes
+    (``jobs<=0`` means one per CPU); every run is seed-deterministic, so
+    the returned list is identical to the serial one in both order and
+    content.  ``use_cache`` replays unchanged runs from the on-disk
+    result cache (see :mod:`repro.experiments.parallel` for the key and
+    its invalidation rule).
+
+    Regardless of ``jobs``, a run that raises comes back as an
+    error-annotated :class:`RunResult` (``result.error`` holds the
+    traceback) rather than aborting the sweep; ``jobs=1`` runs inline
+    with no pool and no pickling requirement on the config.
+    """
     if config is None:
         config = SimulationScenarioConfig()
-    results: List[RunResult] = []
-    for seed in topology_seeds:
-        seeded = replace(config, topology_seed=seed)
-        for protocol in protocols:
-            if progress is not None:
-                progress(protocol, seed)
-            results.append(run_protocol(protocol, seeded))
-    return results
+
+    from repro.experiments.parallel import execute_runs, sweep_specs
+
+    specs = sweep_specs(config, tuple(protocols), tuple(topology_seeds))
+    return execute_runs(
+        specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+        progress=progress,
+    )

@@ -72,9 +72,19 @@ class WirelessChannel:
         self.audible_margin_linear = 10.0 ** (audible_margin_db / 10.0)
         self.nodes: List[Node] = []
         self.counters = CounterSet()
-        self._audible: Dict[int, List[Tuple[Node, float]]] = {}
+        #: sender id -> [(receiver, mean power, rx threshold)], with the
+        #: receiver's decode threshold baked in so the per-transmission
+        #: loop never chases ``receiver.params``.
+        self._audible: Dict[int, List[Tuple[Node, float, float]]] = {}
         self._fading_rng = sim.rng.stream("phy.fading")
         self._finalized = False
+        self._connectivity_cache: Optional[Dict[int, List[int]]] = None
+        self._tx_counter_names: Dict[Any, str] = {}
+        #: True when the faded power is provably the mean power: NoFading
+        #: draws gain 1.0 for every packet and no subclass has replaced
+        #: ``_sampled_power``, so the sample (and its virtual dispatch)
+        #: can be skipped entirely in ``begin_transmission``.
+        self._deterministic_power = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -86,10 +96,15 @@ class WirelessChannel:
         self.nodes.append(node)
 
     def finalize(self) -> None:
-        """Precompute per-sender audibility lists (static topology)."""
+        """Precompute per-sender audibility lists (static topology).
+
+        Re-running ``finalize()`` is the only legal way to change the
+        topology, and it invalidates every derived cache (audibility
+        lists, the memoized connectivity map).
+        """
         self._audible = {}
         for sender in self.nodes:
-            audible: List[Tuple[Node, float]] = []
+            audible: List[Tuple[Node, float, float]] = []
             for receiver in self.nodes:
                 if receiver is sender:
                     continue
@@ -99,8 +114,15 @@ class WirelessChannel:
                     / self.audible_margin_linear
                 )
                 if mean_mw >= cutoff:
-                    audible.append((receiver, mean_mw))
+                    audible.append(
+                        (receiver, mean_mw, receiver.params.rx_threshold_mw)
+                    )
             self._audible[sender.node_id] = audible
+        self._connectivity_cache = None
+        self._deterministic_power = (
+            isinstance(self.fading, NoFading)
+            and type(self)._sampled_power is WirelessChannel._sampled_power
+        )
         self._finalized = True
 
     def mean_rx_power_mw(self, sender: Node, receiver: Node) -> float:
@@ -114,7 +136,10 @@ class WirelessChannel:
 
     def audible_neighbors(self, node_id: int) -> List[Tuple[Node, float]]:
         """(neighbor, mean power) pairs audible from ``node_id``."""
-        return self._audible[node_id]
+        return [
+            (receiver, mean_mw)
+            for receiver, mean_mw, _threshold in self._audible[node_id]
+        ]
 
     # ------------------------------------------------------------------
     # Transmission lifecycle (called by the MAC)
@@ -149,24 +174,32 @@ class WirelessChannel:
                 )
             return None
         now = self.sim.now
-        tx = Transmission(sender, packet, dest_id, now, now + duration_s,
+        end_time = now + duration_s
+        tx = Transmission(sender, packet, dest_id, now, end_time,
                           notify_sender)
-        self.counters.add(f"channel.tx.{packet.kind.value}")
+        kind = packet.kind
+        counter_name = self._tx_counter_names.get(kind)
+        if counter_name is None:
+            counter_name = f"channel.tx.{kind.value}"
+            self._tx_counter_names[kind] = counter_name
+        self.counters.add(counter_name)
         sender.phy_begin_own_tx()
-        for receiver, mean_mw in self._audible[sender.node_id]:
+        deterministic = self._deterministic_power
+        touched_append = tx.touched.append
+        for receiver, mean_mw, rx_threshold_mw in self._audible[sender.node_id]:
             if not receiver.active:
                 continue
-            power_mw = self._sampled_power(sender, receiver, mean_mw)
-            if power_mw <= 0.0:
-                continue
+            if deterministic:
+                power_mw = mean_mw
+            else:
+                power_mw = self._sampled_power(sender, receiver, mean_mw)
+                if power_mw <= 0.0:
+                    continue
             receiver.phy_add_power(tx, power_mw)
-            tx.touched.append(receiver)
-            if (
-                not receiver.transmitting
-                and power_mw >= receiver.params.rx_threshold_mw
-            ):
+            touched_append(receiver)
+            if not receiver.transmitting and power_mw >= rx_threshold_mw:
                 reception = Reception(
-                    tx, receiver.node_id, power_mw, now, tx.end_time
+                    tx, receiver.node_id, power_mw, now, end_time
                 )
                 receiver.phy_start_reception(reception)
         self.sim.schedule(
@@ -196,12 +229,22 @@ class WirelessChannel:
     # Diagnostics
 
     def connectivity_map(self) -> Dict[int, List[int]]:
-        """node -> neighbors whose mean power clears the receive threshold."""
-        result: Dict[int, List[int]] = {}
-        for sender in self.nodes:
-            result[sender.node_id] = [
-                receiver.node_id
-                for receiver, mean_mw in self._audible[sender.node_id]
-                if mean_mw >= receiver.params.rx_threshold_mw
-            ]
-        return result
+        """node -> neighbors whose mean power clears the receive threshold.
+
+        Memoized after :meth:`finalize`: the topology is static, so the
+        O(n^2) scan happens once no matter how often benches poll it.
+        Invalidation rule: only re-running ``finalize()`` (the sole legal
+        topology change) clears the memo; callers must treat the returned
+        mapping as read-only.
+        """
+        if self._connectivity_cache is None:
+            self._connectivity_cache = {
+                sender.node_id: [
+                    receiver.node_id
+                    for receiver, mean_mw, threshold
+                    in self._audible[sender.node_id]
+                    if mean_mw >= threshold
+                ]
+                for sender in self.nodes
+            }
+        return self._connectivity_cache

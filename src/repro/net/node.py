@@ -182,7 +182,10 @@ class Node:
             reception.note_interference(total - own)
 
     def _update_sense_state(self) -> None:
-        busy = self.medium_busy
+        # Inlined `medium_busy`: this runs on every power add/remove.
+        busy = self.transmitting or self.reception_model.can_sense(
+            self.current_power_mw
+        )
         if busy != self._last_busy:
             self._last_busy = busy
             self.mac.on_medium_state(busy)

@@ -102,7 +102,9 @@ class CorrelatedRayleighFading(FadingModel):
                 f"coherence time must be positive, got {coherence_time_s}"
             )
         self.coherence_time_s = coherence_time_s
-        # link_key -> (last_update_time, h_real, h_imag)
+        # link_key -> [last_update_time, h_real, h_imag]; a mutable list
+        # updated in place, so the per-packet hot path allocates nothing
+        # and writes the dict only on a link's first sample.
         self._state: dict = {}
         self._sigma = math.sqrt(0.5)  # per-component: E[|h|^2] = 1
 
@@ -115,16 +117,27 @@ class CorrelatedRayleighFading(FadingModel):
     ) -> float:
         state = self._state.get(link_key)
         if state is None:
-            real = rng.gauss(0.0, self._sigma)
-            imag = rng.gauss(0.0, self._sigma)
+            sigma = self._sigma
+            gauss = rng.gauss
+            real = gauss(0.0, sigma)
+            imag = gauss(0.0, sigma)
+            self._state[link_key] = [now, real, imag]
         else:
-            last_time, real, imag = state
-            dt = now - last_time
+            dt = now - state[0]
             rho = math.exp(-dt / self.coherence_time_s)
             innovation = self._sigma * math.sqrt(max(0.0, 1.0 - rho * rho))
-            real = rho * real + (rng.gauss(0.0, innovation) if innovation else 0.0)
-            imag = rho * imag + (rng.gauss(0.0, innovation) if innovation else 0.0)
-        self._state[link_key] = (now, real, imag)
+            real = state[1]
+            imag = state[2]
+            if innovation:
+                gauss = rng.gauss
+                real = rho * real + gauss(0.0, innovation)
+                imag = rho * imag + gauss(0.0, innovation)
+            else:
+                real = rho * real
+                imag = rho * imag
+            state[0] = now
+            state[1] = real
+            state[2] = imag
         return real * real + imag * imag
 
 

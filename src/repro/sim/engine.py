@@ -93,36 +93,66 @@ class Simulator:
         on return even if the queue drained earlier, so post-run statistics
         can divide by a well-defined duration.  Events scheduled exactly at
         ``until`` are *not* executed (half-open interval).
+
+        ``events_executed`` is updated once on return, not per event --
+        this loop is the hottest frame in every sweep, and batching the
+        counter (plus binding the heap pop locally) buys a measurable
+        fraction of the engine microbenchmark.
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
         queue = self._queue
+        pop = heapq.heappop
+        executed = 0
         try:
-            while queue and not self._stopped:
-                event = queue[0]
-                if until is not None and event.time >= until:
-                    break
-                heapq.heappop(queue)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self.events_executed += 1
-                event.callback(*event.args)
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
+            if until is None:
+                while queue:
+                    event = pop(queue)
+                    if event.cancelled:
+                        continue
+                    self._now = event.time
+                    executed += 1
+                    event.callback(*event.args)
+                    if self._stopped:
+                        break
+            else:
+                while queue:
+                    event = queue[0]
+                    if event.time >= until:
+                        break
+                    pop(queue)
+                    if event.cancelled:
+                        continue
+                    self._now = event.time
+                    executed += 1
+                    event.callback(*event.args)
+                    if self._stopped:
+                        break
+                if not self._stopped and self._now < until:
+                    self._now = until
         finally:
             self._running = False
+            self.events_executed += executed
 
-    def step(self) -> bool:
+    def step(self, until: Optional[float] = None) -> bool:
         """Execute the single next non-cancelled event.
 
-        Returns True if an event ran, False if the queue is empty.
+        Returns True if an event ran, False if the queue is empty -- or,
+        when ``until`` is given, if the next event lies at or beyond
+        ``until``.  The bound is half-open exactly like :meth:`run`'s: an
+        event scheduled at precisely ``until`` is left queued, so
+        stepping after ``run(until=T)`` cannot execute a time-``T`` event
+        that a subsequent ``run(until=T2)`` is entitled to see first.
         Useful in tests that walk a protocol one transition at a time.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = queue[0]
+            if until is not None and event.time >= until:
+                return False
+            heapq.heappop(queue)
             if event.cancelled:
                 continue
             self._now = event.time

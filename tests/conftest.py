@@ -17,6 +17,19 @@ from repro.testbed.linkmodel import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Keep the experiment result cache out of the repo during tests.
+
+    CLI commands cache by default; without this, tests exercising them
+    would write .repro_cache/ into the working tree.
+    """
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR",
+        str(tmp_path_factory.mktemp("repro-cache")),
+    )
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator(seed=1234)

@@ -108,6 +108,102 @@ class TestRunner:
         assert a.mean_delay_s == b.mean_delay_s
 
 
+class TestCollectResultAccounting:
+    """Pin the exact counter accounting of ``collect_result``.
+
+    Channel counters are summed whole while node counters pass a prefix
+    filter -- two different code paths that must never overlap (that
+    would double-count) and whose key set must not drift silently under
+    refactors.  A fixed-seed 3-node run makes every value exact.
+    """
+
+    TINY3 = SimulationScenarioConfig(
+        num_nodes=3,
+        area_width_m=300.0,
+        area_height_m=300.0,
+        num_groups=1,
+        members_per_group=2,
+        sources_per_group=1,
+        duration_s=20.0,
+        warmup_s=5.0,
+        topology_seed=3,
+    )
+
+    @pytest.fixture(scope="class")
+    def tiny_scenario(self):
+        scenario = build_simulation_scenario("spp", self.TINY3)
+        scenario.run()
+        return scenario
+
+    def test_channel_and_node_counter_names_are_disjoint(self, tiny_scenario):
+        """The precondition for summing both sources into one dict."""
+        node_names = set()
+        for node in tiny_scenario.network.nodes:
+            node_names.update(node.counters.as_dict())
+        channel_names = set(
+            tiny_scenario.network.channel.counters.as_dict()
+        )
+        assert node_names & channel_names == set()
+        # Node counters must not sneak into the channel's namespace,
+        # where the whole-set merge would double-count them.
+        assert not any(name.startswith("channel.") for name in node_names)
+
+    def test_exact_counter_key_set(self, tiny_scenario):
+        result = collect_result(tiny_scenario)
+        assert set(result.counters) == {
+            "channel.tx.data",
+            "channel.tx.join_query",
+            "channel.tx.join_reply",
+            "channel.tx.probe",
+            "odmrp.data_delivered",
+            "odmrp.data_delivered_bytes",
+            "odmrp.data_duplicate",
+            "odmrp.data_forwarded",
+            "odmrp.data_originated",
+            "odmrp.data_rx_from.1",
+            "odmrp.data_rx_from.2",
+            "odmrp.fg_refreshed",
+            "odmrp.query_duplicate_dropped",
+            "odmrp.query_forwarded",
+            "odmrp.query_improved",
+            "odmrp.query_originated",
+            "odmrp.reply_sent",
+            "odmrp.route_established",
+            "phy.rx_ok",
+            "tx.data.bytes",
+            "tx.data.packets",
+            "tx.join_query.bytes",
+            "tx.join_query.packets",
+            "tx.join_reply.bytes",
+            "tx.join_reply.packets",
+            "tx.probe.bytes",
+            "tx.probe.packets",
+        }
+
+    def test_counters_match_their_sources_exactly(self, tiny_scenario):
+        result = collect_result(tiny_scenario)
+        channel_counters = tiny_scenario.network.channel.counters.as_dict()
+        for name, value in result.counters.items():
+            node_sum = sum(
+                node.counters.get(name)
+                for node in tiny_scenario.network.nodes
+            )
+            expected = node_sum + channel_counters.get(name, 0.0)
+            assert value == expected, name
+
+    def test_pinned_values_for_fixed_seed(self, tiny_scenario):
+        result = collect_result(tiny_scenario)
+        # Every MAC-queued frame crosses the channel exactly once.
+        assert result.counters["channel.tx.data"] == (
+            result.counters["tx.data.packets"]
+        )
+        assert result.counters["channel.tx.data"] == 540.0
+        assert result.counters["phy.rx_ok"] == 886.0
+        assert result.counters["odmrp.data_delivered"] == 599.0
+        assert result.delivered_packets == 599
+        assert result.offered_packets == 300
+
+
 class TestResults:
     def make_run(self, protocol, seed=1, delivered=100, expected=200,
                  delay=0.01, probe_bytes=500.0):

@@ -1,0 +1,167 @@
+"""Tests for the parallel experiment runner and its result cache.
+
+The contract under test: a (protocol, config, seed) triple produces an
+identical :class:`RunResult` whether executed inline, in a process pool,
+or replayed from the on-disk cache -- and a crashing run annotates
+itself instead of killing the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.parallel import (
+    RunSpec,
+    cache_load,
+    cache_store,
+    execute_runs,
+    execute_runs_detailed,
+    sweep_specs,
+    verify_parallel_consistency,
+)
+from repro.experiments.results import RunResult, aggregate_runs
+from repro.experiments.runner import compare_protocols
+from repro.experiments.scenarios import SimulationScenarioConfig
+
+#: Smallest config that still exercises MAC, fading, probing, and ODMRP.
+TINY = SimulationScenarioConfig(
+    num_nodes=8,
+    area_width_m=450.0,
+    area_height_m=450.0,
+    num_groups=1,
+    members_per_group=3,
+    duration_s=12.0,
+    warmup_s=4.0,
+    topology_seed=1,
+)
+
+
+class TestRunSpec:
+    def test_cache_key_is_stable_and_seed_sensitive(self):
+        a1 = RunSpec("spp", TINY, 1).cache_key()
+        a2 = RunSpec("spp", TINY, 1).cache_key()
+        b = RunSpec("spp", TINY, 2).cache_key()
+        c = RunSpec("etx", TINY, 1).cache_key()
+        assert a1 == a2
+        assert len({a1, b, c}) == 3
+
+    def test_cache_key_tracks_config_fields(self):
+        base = RunSpec("spp", TINY, 1).cache_key()
+        tweaked = RunSpec("spp", replace(TINY, rate_pps=21.0), 1).cache_key()
+        nested = RunSpec("spp", TINY.with_probing_rate(5.0), 1).cache_key()
+        assert base != tweaked
+        assert base != nested
+
+    def test_cache_key_ignores_embedded_topology_seed(self):
+        """The spec seed wins over whatever seed the config carries."""
+        a = RunSpec("spp", replace(TINY, topology_seed=7), 3).cache_key()
+        b = RunSpec("spp", replace(TINY, topology_seed=9), 3).cache_key()
+        assert a == b
+
+
+class TestDeterminismAcrossExecutionModes:
+    """Satellite: identical RunResult serially, in a pool of 2, and from
+    the warm disk cache."""
+
+    def test_serial_pool_and_cache_agree(self, tmp_path):
+        specs = sweep_specs(TINY, ("odmrp", "spp"), (1,))
+        serial = execute_runs(specs, jobs=1, use_cache=False)
+        pooled = execute_runs(specs, jobs=2, use_cache=True,
+                              cache_dir=str(tmp_path))
+        cached = execute_runs(specs, jobs=1, use_cache=True,
+                              cache_dir=str(tmp_path))
+        assert serial == pooled
+        assert serial == cached
+        assert all(run.error is None for run in serial)
+        assert serial[0].delivered_packets > 0
+
+    def test_cached_pass_does_not_recompute(self, tmp_path):
+        specs = sweep_specs(TINY, ("odmrp",), (1,))
+        first = execute_runs_detailed(specs, jobs=1, use_cache=True,
+                                      cache_dir=str(tmp_path))
+        second = execute_runs_detailed(specs, jobs=1, use_cache=True,
+                                       cache_dir=str(tmp_path))
+        assert not first[0].from_cache
+        assert second[0].from_cache
+        assert first[0].result == second[0].result
+
+    def test_compare_protocols_parallel_matches_serial(self, tmp_path):
+        serial = compare_protocols(
+            TINY, protocols=("odmrp", "spp"), topology_seeds=(1, 2)
+        )
+        pooled = compare_protocols(
+            TINY, protocols=("odmrp", "spp"), topology_seeds=(1, 2),
+            jobs=2, use_cache=True, cache_dir=str(tmp_path),
+        )
+        assert serial == pooled
+
+    def test_verify_helper_reports_no_divergence(self, tmp_path):
+        assert verify_parallel_consistency(
+            config=TINY, protocols=("odmrp", "spp"), topology_seeds=(1,),
+            jobs=2, cache_dir=str(tmp_path),
+        ) == []
+
+
+class TestFailureContainment:
+    def test_bad_spec_yields_error_annotated_result_inline(self):
+        specs = [
+            RunSpec("odmrp", TINY, 1),
+            RunSpec("not-a-protocol", TINY, 1),
+        ]
+        results = execute_runs(specs, jobs=1)
+        assert results[0].error is None
+        assert results[1].error is not None
+        assert "not-a-protocol" in results[1].error
+        assert results[1].delivered_packets == 0
+
+    def test_bad_spec_yields_error_annotated_result_in_pool(self):
+        specs = [
+            RunSpec("not-a-protocol", TINY, 1),
+            RunSpec("odmrp", TINY, 1),
+        ]
+        results = execute_runs(specs, jobs=2)
+        assert results[0].error is not None
+        assert results[1].error is None
+        assert results[1].delivered_packets > 0
+
+    def test_errored_runs_are_never_cached(self, tmp_path):
+        spec = RunSpec("not-a-protocol", TINY, 1)
+        execute_runs([spec], jobs=1, use_cache=True, cache_dir=str(tmp_path))
+        assert cache_load(str(tmp_path), spec) is None
+
+    def test_aggregate_skips_errored_runs(self):
+        good = RunResult(
+            protocol="spp", topology_seed=1, duration_s=10.0,
+            offered_packets=10, expected_deliveries=20,
+            delivered_packets=10, delivered_bytes=5120,
+            mean_delay_s=0.01, probe_bytes=100.0,
+        )
+        bad = replace(good, topology_seed=2, delivered_packets=0,
+                      delivered_bytes=0, error="boom")
+        aggregates = aggregate_runs([good, bad])
+        assert aggregates["spp"].runs == 1
+        assert aggregates["spp"].mean_delivery_ratio == pytest.approx(0.5)
+
+
+class TestCachePlumbing:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        spec = RunSpec("spp", TINY, 1)
+        [outcome] = execute_runs_detailed([spec], jobs=1)
+        cache_store(str(tmp_path), spec, outcome.result)
+        loaded = cache_load(str(tmp_path), spec)
+        assert loaded == outcome.result
+        assert loaded.counters == outcome.result.counters
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        spec = RunSpec("spp", TINY, 1)
+        path = tmp_path / f"{spec.cache_key()}.json"
+        path.write_text("{not json")
+        assert cache_load(str(tmp_path), spec) is None
+
+    def test_sweep_specs_order_is_seed_major(self):
+        specs = sweep_specs(TINY, ("a", "b"), (1, 2))
+        assert [(s.seed, s.protocol) for s in specs] == [
+            (1, "a"), (1, "b"), (2, "a"), (2, "b"),
+        ]

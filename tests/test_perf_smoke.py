@@ -1,0 +1,19 @@
+"""Perf-smoke gate: mini-sweep parallel/serial/cache equivalence.
+
+Marked ``perfsmoke`` and deselected from the default tier-1 run (see
+``addopts`` in pyproject.toml); CI runs it explicitly with
+``pytest -m perfsmoke``.  ``scripts/bench_check.py`` is the same gate as
+a standalone script.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import verify_parallel_consistency
+
+
+@pytest.mark.perfsmoke
+def test_mini_sweep_parallel_matches_serial(tmp_path):
+    divergences = verify_parallel_consistency(jobs=2, cache_dir=str(tmp_path))
+    assert divergences == [], "\n".join(divergences)

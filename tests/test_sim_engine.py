@@ -131,6 +131,53 @@ class TestStep:
     def test_step_on_empty_queue_returns_false(self, sim):
         assert sim.step() is False
 
+    def test_step_until_is_half_open_like_run(self, sim):
+        """step(until=T) must not execute an event scheduled exactly at T."""
+        fired = []
+        sim.schedule(5.0, fired.append, "at-bound")
+        assert sim.step(until=5.0) is False
+        assert fired == []
+        assert sim.pending_events() == 1  # still queued, not consumed
+
+    def test_step_after_run_until_respects_bound(self, sim):
+        """Regression: after run(until=T), a bounded step must not pull a
+        time-T event forward out of order -- a later run(until=T2) is
+        entitled to execute it interleaved with anything scheduled in
+        [T, T2) at higher priority."""
+        order = []
+        sim.schedule(5.0, order.append, "exactly-at-T")
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert order == []
+        assert sim.step(until=5.0) is False
+        assert order == []
+        # The event is executed in order once the window opens.
+        sim.schedule_at(
+            5.0, order.append, "same-time-higher-prio",
+            priority=EventPriority.PHY,
+        )
+        sim.run(until=6.0)
+        assert order == ["same-time-higher-prio", "exactly-at-T"]
+
+    def test_step_until_executes_events_before_bound(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step(until=1.5) is True
+        assert fired == ["a"]
+        assert sim.step(until=1.5) is False
+        assert fired == ["a"]
+
+    def test_step_until_skips_cancelled_up_to_bound(self, sim):
+        fired = []
+        dropped = sim.schedule(1.0, fired.append, "cancelled")
+        sim.schedule(3.0, fired.append, "beyond")
+        dropped.cancel()
+        assert sim.step(until=2.0) is False
+        assert fired == []
+        assert sim.step() is True
+        assert fired == ["beyond"]
+
 
 class TestDeterminism:
     def test_same_seed_same_rng_draws(self):
