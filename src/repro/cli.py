@@ -13,6 +13,11 @@ Commands::
     testbed     Figure 2 testbed column (Section 5 emulation)
     fig4        Figure 4 ping-based link classification
     fig5        Figure 5 tree edges, ODMRP vs ODMRP_PP
+    telemetry   Inspect exported run telemetry (summarize / diff)
+
+Simulation commands accept ``--telemetry-dir DIR`` to capture one JSONL
+trace per run (see :mod:`repro.telemetry`); ``repro telemetry summarize``
+renders them.
 """
 
 from __future__ import annotations
@@ -25,14 +30,21 @@ from repro.analysis.tables import render_comparison, render_table
 from repro.experiments import figures
 from repro.experiments.results import aggregate_runs, normalized_metric_table
 from repro.experiments.scenarios import SimulationScenarioConfig
+from repro.telemetry import TelemetryConfig, package_version
 from repro.testbed.emulator import TestbedScenarioConfig
 
 
 def _simulation_config(args: argparse.Namespace) -> SimulationScenarioConfig:
+    telemetry = TelemetryConfig()
+    if getattr(args, "telemetry_dir", None):
+        telemetry = TelemetryConfig(
+            enabled=True, export_dir=args.telemetry_dir
+        )
     return SimulationScenarioConfig(
         num_nodes=args.nodes,
         duration_s=args.duration,
         warmup_s=min(30.0, args.duration / 4),
+        telemetry=telemetry,
     )
 
 
@@ -207,6 +219,37 @@ def cmd_fig5(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    from repro.telemetry import TraceFormatError, read_trace, summarize_trace
+
+    status = 0
+    for index, path in enumerate(args.paths):
+        if index:
+            print()
+        try:
+            trace = read_trace(path)
+        except (OSError, TraceFormatError) as exc:
+            print(f"ERROR: {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"== {path}")
+        print(summarize_trace(trace))
+    return status
+
+
+def cmd_telemetry_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry import TraceFormatError, diff_traces, read_trace
+
+    try:
+        trace_a = read_trace(args.a)
+        trace_b = read_trace(args.b)
+    except (OSError, TraceFormatError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(diff_traces(trace_a, trace_b))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce tables and figures from 'High-Throughput Multicast "
             "Routing Metrics in Wireless Mesh Networks' (ICDCS 2006)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -233,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--no-cache", action="store_true",
                              help="recompute every run instead of reusing "
                                   "the on-disk result cache (.repro_cache/)")
+            sub.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                             help="capture per-run telemetry traces (JSONL) "
+                                  "into DIR; disabled when omitted")
         if testbed:
             sub.add_argument("--duration", type=float, default=400.0,
                              help="seconds of simulated time (paper: 400)")
@@ -249,6 +299,24 @@ def build_parser() -> argparse.ArgumentParser:
     add("testbed", cmd_testbed, "Figure 2 testbed column", testbed=True)
     add("fig4", cmd_fig4, "Figure 4 link classification", testbed=True)
     add("fig5", cmd_fig5, "Figure 5 tree edges", testbed=True)
+
+    telemetry = subparsers.add_parser(
+        "telemetry", help="inspect exported run telemetry traces"
+    )
+    telemetry_sub = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    summarize = telemetry_sub.add_parser(
+        "summarize", help="render manifest + instrument summary per trace"
+    )
+    summarize.add_argument("paths", nargs="+", metavar="TRACE.jsonl")
+    summarize.set_defaults(handler=cmd_telemetry_summarize)
+    diff = telemetry_sub.add_parser(
+        "diff", help="instrument-by-instrument comparison of two traces"
+    )
+    diff.add_argument("a", metavar="A.jsonl")
+    diff.add_argument("b", metavar="B.jsonl")
+    diff.set_defaults(handler=cmd_telemetry_diff)
     return parser
 
 

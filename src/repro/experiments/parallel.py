@@ -40,14 +40,17 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.results import RunResult
 from repro.experiments.scenarios import SimulationScenarioConfig
+from repro.telemetry.manifest import canonicalize
 
 #: Bump when the RunResult schema or run semantics change, so stale cache
 #: entries from older code versions can never be returned.
-CACHE_SCHEMA_VERSION = 1
+#: v2: configs gained a ``telemetry`` section and results a
+#: ``telemetry_path`` field.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "runs")
@@ -72,7 +75,7 @@ class RunSpec:
             "schema": CACHE_SCHEMA_VERSION,
             "protocol": self.protocol.lower(),
             "seed": self.seed,
-            "config": _canonical(self.seeded_config()),
+            "config": canonicalize(self.seeded_config()),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -90,29 +93,6 @@ class RunOutcome:
     @property
     def failed(self) -> bool:
         return self.result.error is not None
-
-
-def _canonical(obj: Any) -> Any:
-    """Recursively reduce a config object to JSON-stable primitives.
-
-    Dataclasses become sorted field dicts; floats keep their exact repr
-    via JSON; anything exotic (a custom propagation or fading model
-    instance) falls back to ``repr`` -- good enough to key a cache, since
-    two differently-configured models must repr differently to be
-    distinguishable at all.
-    """
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            field.name: _canonical(getattr(obj, field.name))
-            for field in dataclasses.fields(obj)
-        }
-    if isinstance(obj, dict):
-        return {str(key): _canonical(value) for key, value in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_canonical(item) for item in obj]
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    return repr(obj)
 
 
 def _error_result(spec: RunSpec, error: str) -> RunResult:

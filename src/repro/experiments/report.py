@@ -56,14 +56,21 @@ def throughput_section(
     baseline_mean = aggregates[baseline].mean_throughput_bps
     rows = []
     for name in _ordered(list(aggregates)):
-        protocol_runs = [run for run in runs if run.protocol == name]
+        protocol_runs = [
+            run for run in runs
+            if run.protocol == name and run.error is None
+        ]
+        paper_cell = (
+            f"{paper[name]:.3f}" if paper and name in paper else "-"
+        )
+        if not protocol_runs or baseline_mean == 0:
+            # All runs failed (or the baseline did): show the hole.
+            rows.append((name, paper_cell, "-", "-", 0))
+            continue
         values = [
             run.throughput_bps / baseline_mean for run in protocol_runs
         ]
         low, high = confidence_interval_95(values)
-        paper_cell = (
-            f"{paper[name]:.3f}" if paper and name in paper else "-"
-        )
         rows.append((
             name,
             paper_cell,
@@ -100,7 +107,8 @@ def diagnostics_section(runs: Sequence[RunResult]) -> str:
     """The counters that explain the results: forwarding, collisions."""
     by_protocol: Dict[str, List[RunResult]] = {}
     for run in runs:
-        by_protocol.setdefault(run.protocol, []).append(run)
+        if run.error is None:
+            by_protocol.setdefault(run.protocol, []).append(run)
     rows = []
     for name in _ordered(list(by_protocol)):
         protocol_runs = by_protocol[name]
@@ -141,6 +149,14 @@ def render_report(
         f"{len(runs)} runs, {len(seeds)} topologies "
         f"(seeds {seeds[0]}..{seeds[-1]}), {duration:.0f} s simulated each.\n"
     )
+    aggregates = aggregate_runs(runs)
+    failed = sum(agg.failed_runs for agg in aggregates.values())
+    zero = sum(agg.zero_delivery_runs for agg in aggregates.values())
+    if failed or zero:
+        header += (
+            f"\n**Data-quality note:** {failed} run(s) failed (excluded "
+            f"from every mean), {zero} run(s) delivered zero packets.\n"
+        )
     sections = [
         header,
         throughput_section(runs, paper_throughput),

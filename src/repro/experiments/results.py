@@ -25,6 +25,9 @@ class RunResult:
     #: Traceback text when the run crashed (parallel sweeps annotate
     #: failures instead of aborting); None for a successful run.
     error: Optional[str] = None
+    #: Path of the run's exported telemetry artifact (JSONL), or None
+    #: when telemetry was disabled.
+    telemetry_path: Optional[str] = None
 
     @property
     def throughput_bps(self) -> float:
@@ -46,7 +49,14 @@ class RunResult:
 
 @dataclass
 class AggregateResult:
-    """Mean over topologies for one protocol."""
+    """Mean over topologies for one protocol.
+
+    ``runs`` counts only the measured runs behind the means;
+    ``failed_runs`` and ``zero_delivery_runs`` surface what the means do
+    *not* include (crashed workers) or include but may distort (runs
+    that delivered nothing), so a report can never silently average away
+    a broken sweep.
+    """
 
     protocol: str
     runs: int
@@ -54,21 +64,44 @@ class AggregateResult:
     mean_delivery_ratio: float
     mean_delay_s: Optional[float]
     mean_probe_overhead_pct: float
+    #: Error-annotated runs excluded from every mean.
+    failed_runs: int = 0
+    #: Successful runs that delivered zero packets (still averaged into
+    #: throughput/PDR, but excluded from delay and overhead means).
+    zero_delivery_runs: int = 0
 
 
 def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
     """Group per-topology runs by protocol and average them.
 
     Error-annotated runs (from crashed parallel workers) carry no
-    measurements and are excluded from the averages.
+    measurements and are excluded from the averages; they are tallied in
+    ``AggregateResult.failed_runs`` instead of vanishing.  A protocol
+    whose runs *all* failed still appears, with ``runs=0`` and zeroed
+    means, so downstream tables show the hole rather than dropping the
+    row.
     """
     by_protocol: Dict[str, List[RunResult]] = {}
+    failed: Dict[str, int] = {}
     for run in runs:
         if run.error is not None:
+            failed[run.protocol] = failed.get(run.protocol, 0) + 1
+            by_protocol.setdefault(run.protocol, [])
             continue
         by_protocol.setdefault(run.protocol, []).append(run)
     aggregates: Dict[str, AggregateResult] = {}
     for protocol, protocol_runs in by_protocol.items():
+        if not protocol_runs:
+            aggregates[protocol] = AggregateResult(
+                protocol=protocol,
+                runs=0,
+                mean_throughput_bps=0.0,
+                mean_delivery_ratio=0.0,
+                mean_delay_s=None,
+                mean_probe_overhead_pct=0.0,
+                failed_runs=failed.get(protocol, 0),
+            )
+            continue
         delays = [
             run.mean_delay_s for run in protocol_runs
             if run.mean_delay_s is not None
@@ -88,6 +121,10 @@ def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
             ),
             mean_delay_s=_mean(delays) if delays else None,
             mean_probe_overhead_pct=_mean(overheads) if overheads else 0.0,
+            failed_runs=failed.get(protocol, 0),
+            zero_delivery_runs=sum(
+                1 for run in protocol_runs if run.delivered_packets == 0
+            ),
         )
     return aggregates
 

@@ -7,6 +7,8 @@ config object.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.experiments.results import RunResult
@@ -16,6 +18,8 @@ from repro.experiments.scenarios import (
     SimulationScenarioConfig,
     build_simulation_scenario,
 )
+from repro.telemetry.export import trace_filename, write_trace
+from repro.telemetry.manifest import build_manifest
 
 ProgressCallback = Callable[[str, int], None]
 
@@ -24,13 +28,62 @@ def run_protocol(
     protocol_name: str,
     config: Optional[SimulationScenarioConfig] = None,
 ) -> RunResult:
-    """Build, run, and measure one protocol on one topology."""
+    """Build, run, and measure one protocol on one topology.
+
+    When the config enables telemetry, the run's JSONL artifact is
+    written before results are collected, so even a sweep that dies
+    downstream leaves its traces behind.
+    """
     scenario = build_simulation_scenario(protocol_name, config)
+    start = time.perf_counter()
     scenario.run()
-    return collect_result(scenario)
+    wall_time_s = time.perf_counter() - start
+    telemetry_path = export_run_telemetry(scenario, wall_time_s)
+    return collect_result(scenario, telemetry_path=telemetry_path)
 
 
-def collect_result(scenario: SimulationScenario) -> RunResult:
+def telemetry_export_dir(config: SimulationScenarioConfig) -> str:
+    """Where this config's telemetry artifacts land.
+
+    Explicit ``TelemetryConfig.export_dir`` wins; the default is a
+    ``telemetry/`` directory next to the cached run results, so one
+    sweep's artifacts and cache entries travel together.
+    """
+    if config.telemetry.export_dir:
+        return config.telemetry.export_dir
+    from repro.experiments.parallel import resolve_cache_dir
+
+    return os.path.join(resolve_cache_dir(None), "telemetry")
+
+
+def export_run_telemetry(
+    scenario: SimulationScenario, wall_time_s: float
+) -> Optional[str]:
+    """Write one finished run's manifest + instruments; returns the path."""
+    hub = scenario.telemetry
+    if hub is None:
+        return None
+    config = scenario.config
+    manifest = build_manifest(
+        scenario.protocol_name,
+        config,
+        seed=config.topology_seed,
+        wall_time_s=wall_time_s,
+        sim_duration_s=config.duration_s,
+        events_executed=scenario.network.sim.events_executed,
+        extra={
+            "num_nodes": config.num_nodes,
+            "samples_taken": hub.samples_taken,
+            "offered_packets": scenario.offered_packets(),
+        },
+    )
+    path = os.path.join(telemetry_export_dir(config), trace_filename(manifest))
+    return write_trace(path, hub, manifest)
+
+
+def collect_result(
+    scenario: SimulationScenario, telemetry_path: Optional[str] = None
+) -> RunResult:
     """Extract a :class:`RunResult` from a finished scenario."""
     probe_bytes = (
         scenario.probing.probe_bytes_sent()
@@ -62,6 +115,7 @@ def collect_result(scenario: SimulationScenario) -> RunResult:
         mean_delay_s=sink.mean_delay_s(),
         probe_bytes=probe_bytes,
         counters=counters,
+        telemetry_path=telemetry_path,
     )
 
 

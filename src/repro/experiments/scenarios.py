@@ -23,6 +23,8 @@ from repro.odmrp.config import OdmrpConfig
 from repro.odmrp.protocol import OdmrpRouter
 from repro.probing.manager import ProbingConfig, ProbingManager
 from repro.sim.rng import RngRegistry
+from repro.telemetry.hub import TelemetryConfig, TelemetryHub
+from repro.telemetry.probes import finalize_scenario, install_scenario_probes
 from repro.traffic.cbr import CbrSource
 from repro.traffic.groups import GroupScenario, build_group_scenario
 from repro.traffic.sink import MulticastSink
@@ -52,6 +54,10 @@ class SimulationScenarioConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     probing: ProbingConfig = field(default_factory=ProbingConfig)
     odmrp: OdmrpConfig = field(default_factory=OdmrpConfig)
+    #: Observability knobs.  Disabled by default: no telemetry hub is
+    #: built and the run executes the exact pre-telemetry instruction
+    #: stream (see :mod:`repro.telemetry`).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def with_probing_rate(self, multiplier: float) -> "SimulationScenarioConfig":
         """A copy with the probing rate scaled (overhead experiments)."""
@@ -73,10 +79,23 @@ class SimulationScenario:
     sources: List[CbrSource]
     groups: GroupScenario
     positions: List[Position]
+    #: The run's telemetry hub, or None when telemetry is disabled.
+    telemetry: Optional[TelemetryHub] = None
 
     def run(self) -> None:
-        """Run the full configured duration."""
-        self.network.run(self.config.duration_s)
+        """Run the full configured duration.
+
+        With telemetry enabled the simulation advances in
+        sample-interval chunks so the hub can observe the engine's
+        batched counters flushed; chunking a half-open ``run(until=...)``
+        loop does not reorder events, so both paths execute the same
+        instruction stream.
+        """
+        if self.telemetry is None:
+            self.network.run(self.config.duration_s)
+            return
+        self.telemetry.drive(self.network.sim, self.config.duration_s)
+        finalize_scenario(self.telemetry, self)
 
     def offered_packets(self) -> int:
         return sum(source.packets_sent for source in self.sources)
@@ -177,7 +196,7 @@ def build_simulation_scenario(
         source.start(at=config.warmup_s, stop_at=config.duration_s)
         sources.append(source)
 
-    return SimulationScenario(
+    scenario = SimulationScenario(
         config=config,
         protocol_name=protocol_name.lower(),
         network=network,
@@ -189,3 +208,7 @@ def build_simulation_scenario(
         groups=groups,
         positions=positions,
     )
+    if config.telemetry.enabled:
+        scenario.telemetry = TelemetryHub(config.telemetry)
+        install_scenario_probes(scenario.telemetry, scenario)
+    return scenario

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.mac.frames import (
     ACK_FRAME_BYTES,
@@ -79,6 +79,7 @@ class CsmaMac:
         self.frames_dropped_queue = 0
         self.frames_dropped_retry = 0
         self.retransmissions = 0
+        self.backoffs = 0
 
     # ------------------------------------------------------------------
     # Upper-layer interface
@@ -110,6 +111,21 @@ class CsmaMac:
     def queue_length(self) -> int:
         backlog = len(self._queue)
         return backlog + (1 if self._current is not None else 0)
+
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Cumulative MAC statistics for the telemetry sampler.
+
+        Pull-based: the sampler calls this between simulation chunks, so
+        the transmit path pays nothing for observability.
+        """
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_dropped_queue": self.frames_dropped_queue,
+            "frames_dropped_retry": self.frames_dropped_retry,
+            "retransmissions": self.retransmissions,
+            "backoffs": self.backoffs,
+            "queue_length": self.queue_length,
+        }
 
     # ------------------------------------------------------------------
     # Channel notifications (via the owning node)
@@ -195,6 +211,7 @@ class CsmaMac:
             return
         timings = self.config.timings
         slots = self._rng.randrange(self._current.cw)
+        self.backoffs += 1
         delay = timings.difs_s + slots * timings.slot_time_s
         self._backoff_handle = self.sim.schedule(
             delay, self._backoff_done, priority=EventPriority.MAC

@@ -103,3 +103,12 @@ class MaodvRouter(OdmrpRouter):
 
     def is_forwarder_for_source(self, group_id: int, source_id: int) -> bool:
         return self._on_tree(group_id, source_id)
+
+    def active_tree_count(self) -> int:
+        """How many (group, source) trees this node currently forwards for.
+
+        Telemetry hook: the sampler counts tree membership across nodes to
+        plot tree size and churn over time.
+        """
+        now = self.sim.now
+        return sum(1 for _, expiry in self._tree.values() if expiry > now)

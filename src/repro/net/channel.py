@@ -228,6 +228,14 @@ class WirelessChannel:
     # ------------------------------------------------------------------
     # Diagnostics
 
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Cumulative channel counters (tx per kind, drops) by name.
+
+        Pull-based accessor for the telemetry sampler; the transmission
+        path only touches its existing ``CounterSet``.
+        """
+        return self.counters.as_dict()
+
     def connectivity_map(self) -> Dict[int, List[int]]:
         """node -> neighbors whose mean power clears the receive threshold.
 

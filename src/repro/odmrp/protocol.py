@@ -375,6 +375,20 @@ class OdmrpRouter:
     # ------------------------------------------------------------------
     # Introspection (tests, Figure 5 tree extraction)
 
+    def active_forwarding_groups(self) -> list[int]:
+        """Group ids this node currently forwards for (telemetry hook)."""
+        return self.forwarding_groups.active_groups(self.sim.now)
+
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Cumulative routing-state sizes for the telemetry sampler."""
+        return {
+            "member_groups": float(len(self.member_groups)),
+            "active_forwarding_groups": float(
+                len(self.active_forwarding_groups())
+            ),
+            "query_rounds_tracked": float(len(self._rounds)),
+        }
+
     def current_upstream(self, source_id: int) -> Optional[int]:
         """Best upstream toward ``source_id`` in the newest known round."""
         newest: Optional[QueryRoundState] = None

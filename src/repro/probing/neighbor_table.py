@@ -108,3 +108,14 @@ class NeighborTable:
     def link_cost(self, neighbor_id: int, metric: RouteMetric) -> float:
         """Metric cost of the ``neighbor -> self`` link."""
         return metric.link_cost(self.link_quality(neighbor_id))
+
+    def link_qualities(self) -> Dict[int, LinkQuality]:
+        """Current quality of every heard link, keyed by neighbor.
+
+        The telemetry sampler's view of this table: one call per sample
+        tick, nothing cached, nothing recorded on the probe receive path.
+        """
+        return {
+            neighbor_id: self.link_quality(neighbor_id)
+            for neighbor_id in self.neighbors()
+        }

@@ -58,6 +58,15 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def queue_depth(self) -> int:
+        """Raw event-queue length, including lazily cancelled events.
+
+        O(1) -- the telemetry sampler polls this every tick.  Use
+        :meth:`pending_events` when the exact live count matters.
+        """
+        return len(self._queue)
+
     def schedule(
         self,
         delay: float,

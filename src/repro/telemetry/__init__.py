@@ -1,0 +1,75 @@
+"""Streaming observability for simulation runs.
+
+The telemetry subsystem watches a run *evolve* -- link quality,
+forwarding-group size, queue depths, per-layer packet flow over virtual
+time -- where :class:`~repro.sim.trace.CounterSet` only reports end-of-run
+totals.  It is strictly opt-in: with ``TelemetryConfig.enabled=False``
+(the default) no hub exists, no sampling happens, and every hot path
+executes the exact seed instruction stream.
+
+Layers:
+
+* :mod:`repro.telemetry.instruments` -- Counter / Gauge / TimeSeries /
+  Histogram value holders.
+* :mod:`repro.telemetry.hub` -- the per-run registry, probe sampler, and
+  structured event log.
+* :mod:`repro.telemetry.probes` -- the standard probe set wiring a
+  simulation scenario (engine, MAC, channel, probing, ODMRP/MAODV).
+* :mod:`repro.telemetry.manifest` -- run provenance (config hash, seed,
+  package version, host, wall time).
+* :mod:`repro.telemetry.export` -- the versioned JSONL artifact format
+  and its lossless round-trip reader.
+* :mod:`repro.telemetry.summary` -- ``repro telemetry summarize`` /
+  ``diff`` rendering.
+"""
+
+from repro.telemetry.export import (
+    TRACE_FORMAT_VERSION,
+    TelemetryTrace,
+    TraceFormatError,
+    read_trace,
+    trace_filename,
+    write_trace,
+)
+from repro.telemetry.hub import TelemetryConfig, TelemetryHub
+from repro.telemetry.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    TimeSeries,
+)
+from repro.telemetry.manifest import (
+    RunManifest,
+    build_manifest,
+    canonicalize,
+    config_digest,
+    package_version,
+)
+from repro.telemetry.probes import finalize_scenario, install_scenario_probes
+from repro.telemetry.summary import diff_traces, summarize_trace
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "RunManifest",
+    "TelemetryConfig",
+    "TelemetryHub",
+    "TelemetryTrace",
+    "TimeSeries",
+    "TraceFormatError",
+    "build_manifest",
+    "canonicalize",
+    "config_digest",
+    "diff_traces",
+    "finalize_scenario",
+    "install_scenario_probes",
+    "package_version",
+    "read_trace",
+    "summarize_trace",
+    "trace_filename",
+    "write_trace",
+]

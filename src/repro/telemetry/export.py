@@ -1,0 +1,132 @@
+"""Versioned JSONL trace export and the round-trip reader.
+
+Artifact layout -- one JSON object per line:
+
+1. a ``manifest`` record (always first; carries ``format`` so readers
+   can reject incompatible files before parsing anything else),
+2. zero or more ``event`` records (the structured trace log, in
+   recording order) followed by one ``events_summary`` record carrying
+   the recorder's bound and drop count,
+3. one record per instrument (``counter`` / ``gauge`` / ``series`` /
+   ``histogram``), in name order.
+
+The reader inverts the writer exactly: ``read_trace(write_trace(...))``
+reproduces the same manifest, instruments, and event log, which is the
+lossless round-trip property ``tests/test_telemetry.py`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.trace import TraceEntry
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.instruments import INSTRUMENT_TYPES, Instrument
+from repro.telemetry.manifest import RunManifest
+
+#: Bump on any change to the line-record shapes below.
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a file is not a readable telemetry trace."""
+
+
+@dataclass
+class TelemetryTrace:
+    """One exported run: manifest + event log + instruments."""
+
+    manifest: RunManifest
+    instruments: List[Instrument] = field(default_factory=list)
+    events: List[TraceEntry] = field(default_factory=list)
+    events_dropped: int = 0
+
+    def instrument(self, name: str) -> Optional[Instrument]:
+        for instrument in self.instruments:
+            if instrument.name == name:
+                return instrument
+        return None
+
+    @property
+    def label(self) -> str:
+        return f"{self.manifest.protocol}/seed={self.manifest.seed}"
+
+
+def trace_filename(manifest: RunManifest) -> str:
+    """Canonical artifact name: protocol, seed, and config hash prefix."""
+    return (
+        f"{manifest.protocol}-seed{manifest.seed}"
+        f"-{manifest.config_hash[:12]}.jsonl"
+    )
+
+
+def write_trace(path: str, hub: TelemetryHub, manifest: RunManifest) -> str:
+    """Write one run's telemetry to ``path`` (atomically); returns path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    manifest_record = manifest.to_record()
+    manifest_record["format"] = TRACE_FORMAT_VERSION
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest_record, sort_keys=True) + "\n")
+        for entry in hub.recorder.entries:
+            handle.write(json.dumps(
+                {"type": "event", "time": entry.time, "tag": entry.tag,
+                 "data": entry.data},
+                sort_keys=True,
+            ) + "\n")
+        handle.write(json.dumps(
+            {"type": "events_summary",
+             "recorded": len(hub.recorder.entries),
+             "dropped": hub.recorder.dropped,
+             "max_entries": hub.recorder.max_entries},
+            sort_keys=True,
+        ) + "\n")
+        for instrument in hub.instruments():
+            handle.write(
+                json.dumps(instrument.to_record(), sort_keys=True) + "\n"
+            )
+    os.replace(tmp, path)
+    return path
+
+
+def read_trace(path: str) -> TelemetryTrace:
+    """Load one JSONL artifact back into Python objects."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise TraceFormatError(f"{path}: empty trace file")
+    head = json.loads(lines[0])
+    if head.get("type") != "manifest":
+        raise TraceFormatError(
+            f"{path}: first record is {head.get('type')!r}, not a manifest"
+        )
+    fmt = head.get("format")
+    if fmt != TRACE_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: trace format {fmt!r} not supported "
+            f"(reader speaks {TRACE_FORMAT_VERSION})"
+        )
+    trace = TelemetryTrace(manifest=RunManifest.from_record(head))
+    for number, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "event":
+            trace.events.append(TraceEntry(
+                record["time"], record["tag"], record.get("data", {})
+            ))
+        elif kind == "events_summary":
+            trace.events_dropped = int(record.get("dropped", 0))
+        elif kind in INSTRUMENT_TYPES:
+            trace.instruments.append(
+                INSTRUMENT_TYPES[kind].from_record(record)
+            )
+        else:
+            raise TraceFormatError(
+                f"{path}:{number}: unknown record type {kind!r}"
+            )
+    return trace

@@ -1,0 +1,260 @@
+"""Typed telemetry instruments.
+
+Four instrument shapes cover everything the observability layer records:
+
+* :class:`Counter` -- a monotonically increasing total (frames sent,
+  probe bytes, tree joins).
+* :class:`Gauge` -- a last-value measurement (final queue depth, trace
+  recorder drop count).
+* :class:`TimeSeries` -- fixed-interval samples of an evolving quantity
+  (forwarding-group size over time, per-link delivery fraction).
+* :class:`Histogram` -- a fixed-bucket distribution of observations
+  (per-link df spread, JOIN QUERY fan-out per refresh round).
+
+Instruments are dumb value holders: sampling policy lives in
+:class:`repro.telemetry.hub.TelemetryHub`, serialization in
+:mod:`repro.telemetry.export`.  Every instrument round-trips losslessly
+through ``to_record()`` / ``from_record()``; equality is defined over the
+record form, which is what the export round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Instrument:
+    """Base class: a named, described, optionally unit-tagged value."""
+
+    kind: str = "instrument"
+
+    def __init__(self, name: str, description: str = "", unit: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.unit = unit
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"type": self.kind, "name": self.name}
+        if self.description:
+            record["description"] = self.description
+        if self.unit:
+            record["unit"] = self.unit
+        return record
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instrument):
+            return NotImplemented
+        return self.to_record() == other.to_record()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Counter(Instrument):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "", unit: str = "") -> None:
+        super().__init__(name, description, unit)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_record(self) -> Dict[str, Any]:
+        record = super().to_record()
+        record["value"] = self.value
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Counter":
+        counter = cls(record["name"], record.get("description", ""),
+                      record.get("unit", ""))
+        counter.value = float(record["value"])
+        return counter
+
+
+class Gauge(Instrument):
+    """Last-value measurement; ``None`` until first set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "", unit: str = "") -> None:
+        super().__init__(name, description, unit)
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_record(self) -> Dict[str, Any]:
+        record = super().to_record()
+        record["value"] = self.value
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Gauge":
+        gauge = cls(record["name"], record.get("description", ""),
+                    record.get("unit", ""))
+        value = record.get("value")
+        gauge.value = None if value is None else float(value)
+        return gauge
+
+
+class TimeSeries(Instrument):
+    """Samples of an evolving quantity at a fixed nominal interval.
+
+    Sample times are stored explicitly (the hub may start sampling late
+    or a probe may be registered mid-run), so the series is
+    self-describing even when it does not span the whole run.
+    """
+
+    kind = "series"
+
+    def __init__(
+        self,
+        name: str,
+        interval_s: float,
+        description: str = "",
+        unit: str = "",
+    ) -> None:
+        super().__init__(name, description, unit)
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.interval_s = interval_s
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r} samples must be time-ordered "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> Optional[float]:
+        if not self.values:
+            return None
+        return sum(self.values) / len(self.values)
+
+    def minimum(self) -> Optional[float]:
+        return min(self.values) if self.values else None
+
+    def maximum(self) -> Optional[float]:
+        return max(self.values) if self.values else None
+
+    def to_record(self) -> Dict[str, Any]:
+        record = super().to_record()
+        record["interval_s"] = self.interval_s
+        record["times"] = list(self.times)
+        record["values"] = list(self.values)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "TimeSeries":
+        series = cls(
+            record["name"],
+            record["interval_s"],
+            record.get("description", ""),
+            record.get("unit", ""),
+        )
+        series.times = [float(t) for t in record["times"]]
+        series.values = [float(v) for v in record["values"]]
+        return series
+
+
+#: Default histogram bucket upper edges: a wide log-ish ladder that fits
+#: both ratio-valued quantities (df in [0, 1]) and counts (fan-out).
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 0.75, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0
+)
+
+
+class Histogram(Instrument):
+    """Fixed-bucket distribution with streaming count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges; an observation above the last
+    edge lands in the overflow bucket (``counts`` has ``len(bounds)+1``
+    entries).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BOUNDS,
+        description: str = "",
+        unit: str = "",
+    ) -> None:
+        super().__init__(name, description, unit)
+        edges = tuple(float(b) for b in bounds)
+        if not edges or any(
+            later <= earlier for earlier, later in zip(edges, edges[1:])
+        ):
+            raise ValueError("bounds must be non-empty and strictly increasing")
+        self.bounds = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def to_record(self) -> Dict[str, Any]:
+        record = super().to_record()
+        record["bounds"] = list(self.bounds)
+        record["counts"] = list(self.counts)
+        record["count"] = self.count
+        record["sum"] = self.sum
+        record["min"] = self.min
+        record["max"] = self.max
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Histogram":
+        histogram = cls(
+            record["name"],
+            record["bounds"],
+            record.get("description", ""),
+            record.get("unit", ""),
+        )
+        histogram.counts = [int(c) for c in record["counts"]]
+        histogram.count = int(record["count"])
+        histogram.sum = float(record["sum"])
+        histogram.min = record["min"]
+        histogram.max = record["max"]
+        return histogram
+
+
+#: Record ``type`` -> instrument class, used by the trace reader.
+INSTRUMENT_TYPES = {
+    cls.kind: cls for cls in (Counter, Gauge, TimeSeries, Histogram)
+}

@@ -1,0 +1,134 @@
+"""Run manifests: the provenance record at the head of every trace.
+
+A manifest pins down everything needed to interpret (or re-run) the run
+that produced a telemetry artifact: protocol, seed, a content hash over
+the canonicalized config, the package version, host info, and wall-time
+accounting.  ``canonicalize`` is the single canonical-form reducer for
+config objects -- the experiment cache keys
+(:mod:`repro.experiments.parallel`) and manifest config hashes are built
+from the same reduction, so a config change invalidates both in lockstep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Bump when the manifest record shape changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def canonicalize(obj: Any) -> Any:
+    """Recursively reduce a config object to JSON-stable primitives.
+
+    Dataclasses become sorted field dicts; floats keep their exact repr
+    via JSON; anything exotic (a custom propagation or fading model
+    instance) falls back to ``repr`` -- good enough to key a cache, since
+    two differently-configured models must repr differently to be
+    distinguishable at all.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return repr(obj)
+
+
+def config_digest(payload: Any) -> str:
+    """SHA-256 hex digest over the canonical JSON form of ``payload``."""
+    blob = json.dumps(
+        canonicalize(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # noqa: BLE001 - metadata unavailable: use source
+        pass
+    import repro
+
+    return repro.__version__
+
+
+def host_info() -> Dict[str, str]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Provenance header of one telemetry trace."""
+
+    protocol: str
+    seed: int
+    config_hash: str
+    schema: int = MANIFEST_SCHEMA_VERSION
+    package_version: str = ""
+    created_unix: float = 0.0
+    wall_time_s: float = 0.0
+    sim_duration_s: float = 0.0
+    events_executed: int = 0
+    host: Dict[str, str] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events_per_wall_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.events_executed / self.wall_time_s
+
+    def to_record(self) -> Dict[str, Any]:
+        record = dataclasses.asdict(self)
+        record["type"] = "manifest"
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "RunManifest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in fields})
+
+
+def build_manifest(
+    protocol: str,
+    config: Any,
+    seed: int,
+    wall_time_s: float = 0.0,
+    sim_duration_s: float = 0.0,
+    events_executed: int = 0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunManifest:
+    """Assemble a manifest for one finished (or about-to-run) run."""
+    return RunManifest(
+        protocol=protocol.lower(),
+        seed=seed,
+        config_hash=config_digest(config),
+        package_version=package_version(),
+        created_unix=time.time(),
+        wall_time_s=wall_time_s,
+        sim_duration_s=sim_duration_s,
+        events_executed=events_executed,
+        host=host_info(),
+        config=canonicalize(config),
+        extra=dict(extra or {}),
+    )

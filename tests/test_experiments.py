@@ -256,6 +256,38 @@ class TestResults:
         with pytest.raises(ValueError):
             normalized_metric_table(aggregate_runs(runs), "jitter")
 
+    def test_failed_runs_are_tallied_not_averaged(self):
+        from dataclasses import replace
+
+        good = self.make_run("spp", seed=1, delivered=100)
+        bad = replace(good, topology_seed=2, delivered_packets=0,
+                      delivered_bytes=0, error="boom")
+        aggregates = aggregate_runs([good, bad])
+        assert aggregates["spp"].runs == 1
+        assert aggregates["spp"].failed_runs == 1
+        assert aggregates["spp"].mean_delivery_ratio == pytest.approx(0.5)
+
+    def test_all_failed_protocol_still_appears(self):
+        from dataclasses import replace
+
+        bad = replace(self.make_run("etx"), delivered_packets=0,
+                      delivered_bytes=0, error="boom")
+        aggregates = aggregate_runs([self.make_run("spp"), bad])
+        assert aggregates["etx"].runs == 0
+        assert aggregates["etx"].failed_runs == 1
+        assert aggregates["etx"].mean_throughput_bps == 0.0
+        assert aggregates["etx"].mean_delay_s is None
+
+    def test_zero_delivery_runs_are_counted(self):
+        runs = [
+            self.make_run("spp", seed=1, delivered=100),
+            self.make_run("spp", seed=2, delivered=0, delay=None),
+        ]
+        aggregates = aggregate_runs(runs)
+        assert aggregates["spp"].runs == 2
+        assert aggregates["spp"].zero_delivery_runs == 1
+        assert aggregates["spp"].failed_runs == 0
+
 
 class TestAnalyticFigures:
     def test_figure1_matches_paper_exactly(self):

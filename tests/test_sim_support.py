@@ -206,6 +206,20 @@ class TestTraceRecorder:
         assert len(recorder.entries) == 2
         assert recorder.dropped == 3
 
+    def test_dropped_resets_with_clear(self):
+        # Regression: telemetry exports report ``dropped`` per run, so it
+        # must count every overflow and reset with the entries.
+        recorder = TraceRecorder(enabled=True, max_entries=1)
+        for i in range(4):
+            recorder.record(float(i), "t")
+        assert recorder.dropped == 3
+        recorder.clear()
+        assert recorder.dropped == 0
+        assert recorder.entries == []
+        recorder.record(0.0, "t")
+        recorder.record(1.0, "t")
+        assert recorder.dropped == 1
+
     def test_iter_between(self):
         recorder = TraceRecorder(enabled=True)
         for i in range(5):
