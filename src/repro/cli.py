@@ -13,7 +13,16 @@ Commands::
     testbed     Figure 2 testbed column (Section 5 emulation)
     fig4        Figure 4 ping-based link classification
     fig5        Figure 5 tree edges, ODMRP vs ODMRP_PP
+    run         Execute a declarative experiment spec (TOML/JSON)
+    protocols   List the registered router x metric combinations
     telemetry   Inspect exported run telemetry (summarize / diff)
+
+``repro run --spec examples/paper_spec.toml`` executes a serialized
+:class:`~repro.experiments.spec.ExperimentSpec`; ``--protocols``/
+``--seeds`` narrow it, ``--dry-run`` prints the resolved plan without
+simulating.  Protocol names everywhere resolve through the registry
+(:mod:`repro.protocols`), so MAODV and WCETT variants sweep through the
+same pipeline as the paper's six.
 
 Simulation commands accept ``--telemetry-dir DIR`` to capture one JSONL
 trace per run (see :mod:`repro.telemetry`); ``repro telemetry summarize``
@@ -29,7 +38,11 @@ from typing import Optional, Sequence
 from repro.analysis.tables import render_comparison, render_table
 from repro.experiments import figures
 from repro.experiments.results import aggregate_runs, normalized_metric_table
-from repro.experiments.scenarios import SimulationScenarioConfig
+from repro.experiments.scenarios import (
+    PROTOCOL_NAMES,
+    SimulationScenarioConfig,
+)
+from repro.protocols import REGISTRY, UnknownProtocolError
 from repro.telemetry import TelemetryConfig, package_version
 from repro.testbed.emulator import TestbedScenarioConfig
 
@@ -98,7 +111,7 @@ def cmd_fig2_sim(args: argparse.Namespace) -> int:
     config = _simulation_config(args)
     seeds = _seeds(args)
     print(
-        f"running 6 protocols x {len(seeds)} topologies "
+        f"running {len(PROTOCOL_NAMES)} protocols x {len(seeds)} topologies "
         f"({config.num_nodes} nodes, {config.duration_s:.0f} s each, "
         f"jobs={args.jobs}) ..."
     )
@@ -150,7 +163,10 @@ def cmd_testbed(args: argparse.Namespace) -> int:
         duration_s=args.duration, warmup_s=min(30.0, args.duration / 4)
     )
     seeds = tuple(range(1, args.runs + 1))
-    print(f"running 6 protocols x {len(seeds)} testbed runs ...")
+    print(
+        f"running {len(PROTOCOL_NAMES)} protocols x {len(seeds)} "
+        "testbed runs ..."
+    )
     result = figures.figure2_throughput_testbed(config, seeds)
     print()
     print(render_comparison(
@@ -216,6 +232,97 @@ def cmd_fig5(args: argparse.Namespace) -> int:
             "lossy-link share: "
             f"{figures.lossy_link_data_share(tree):.1%}"
         )
+    return 0
+
+
+def _parse_csv(text: Optional[str]) -> Optional[list]:
+    if text is None:
+        return None
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_report
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.spec import ExperimentSpec, SpecError
+
+    if args.spec:
+        try:
+            spec = ExperimentSpec.load(args.spec)
+        except (OSError, SpecError) as exc:
+            print(f"ERROR: {args.spec}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        spec = ExperimentSpec(name="paper-baseline-defaults")
+
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = [int(seed) for seed in _parse_csv(args.seeds)]
+        except ValueError:
+            print(f"ERROR: --seeds must be integers: {args.seeds!r}",
+                  file=sys.stderr)
+            return 1
+    spec = spec.with_overrides(
+        protocols=_parse_csv(args.protocols),
+        seeds=seeds,
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+    )
+    if getattr(args, "telemetry_dir", None):
+        from dataclasses import replace
+
+        spec.config = replace(
+            spec.config,
+            telemetry=TelemetryConfig(
+                enabled=True, export_dir=args.telemetry_dir
+            ),
+        )
+
+    try:
+        spec.validate()
+    except (UnknownProtocolError, SpecError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(spec.describe())
+    if args.dry_run:
+        print("\ndry run: spec is valid; no simulations executed.")
+        return 0
+
+    print()
+    runs = run_experiment(
+        spec,
+        progress=lambda protocol, seed: print(
+            f"  running {protocol} seed={seed} ...", flush=True
+        ),
+    )
+    if not _warn_failed_runs(runs):
+        return 1
+    report = render_report(runs, title=spec.name)
+    print()
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {args.report}")
+    return 0
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            spec.name,
+            spec.family,
+            spec.metric or "min-hop",
+            spec.router.__name__,
+            spec.description,
+        )
+        for spec in REGISTRY
+    ]
+    print(render_table(
+        ("name", "family", "metric", "router", "description"), rows,
+        title=f"{len(REGISTRY)} registered protocols",
+    ))
     return 0
 
 
@@ -299,6 +406,38 @@ def build_parser() -> argparse.ArgumentParser:
     add("testbed", cmd_testbed, "Figure 2 testbed column", testbed=True)
     add("fig4", cmd_fig4, "Figure 4 link classification", testbed=True)
     add("fig5", cmd_fig5, "Figure 5 tree edges", testbed=True)
+
+    run = subparsers.add_parser(
+        "run", help="execute a declarative experiment spec (TOML/JSON)"
+    )
+    run.set_defaults(handler=cmd_run)
+    run.add_argument("--spec", metavar="PATH", default=None,
+                     help="spec file (.toml or .json); omitted = the "
+                          "paper baseline at default scale")
+    run.add_argument("--protocols", metavar="A,B,...", default=None,
+                     help="override the spec's protocol list (registry "
+                          "names, e.g. maodv,maodv-etx,maodv-spp)")
+    run.add_argument("--seeds", metavar="1,2,...", default=None,
+                     help="override the spec's topology seeds")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="override the spec's worker-process count "
+                          "(0 = one per CPU)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="force recomputation even if the spec enables "
+                          "the result cache")
+    run.add_argument("--dry-run", action="store_true",
+                     help="validate and print the resolved run plan "
+                          "without simulating")
+    run.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                     help="capture per-run telemetry traces (JSONL) "
+                          "into DIR")
+    run.add_argument("--report", metavar="PATH", default=None,
+                     help="also write the markdown report to PATH")
+
+    protocols_cmd = subparsers.add_parser(
+        "protocols", help="list the registered router x metric combinations"
+    )
+    protocols_cmd.set_defaults(handler=cmd_protocols)
 
     telemetry = subparsers.add_parser(
         "telemetry", help="inspect exported run telemetry traces"

@@ -33,6 +33,8 @@ from repro.core.metrics import (
     RouteMetric,
     SppMetric,
     metric_by_name,
+    metric_type_by_name,
+    register_metric,
     ALL_METRIC_NAMES,
 )
 
@@ -46,6 +48,8 @@ __all__ = [
     "MetxMetric",
     "SppMetric",
     "metric_by_name",
+    "metric_type_by_name",
+    "register_metric",
     "ALL_METRIC_NAMES",
     "additive",
     "multiplicative",

@@ -146,6 +146,9 @@ class EttMetric(RouteMetric):
     """
 
     name = "ett"
+    #: Tells the protocol registry this metric is parameterized by the
+    #: workload's packet size and nominal channel rate.
+    uses_packet_airtime = True
 
     def __init__(
         self,
@@ -270,11 +273,47 @@ _METRIC_TYPES: Dict[str, Type[RouteMetric]] = {
 ALL_METRIC_NAMES = ("ett", "etx", "metx", "pp", "spp")
 
 
+def register_metric(metric_type: Type[RouteMetric]) -> Type[RouteMetric]:
+    """Register an extension metric under its ``name`` class attribute.
+
+    Usable as a class decorator.  Re-registering the *same* class is a
+    no-op (idempotent under re-import); claiming an existing name with a
+    different class is an error, so extensions can never silently shadow
+    the paper's metrics.
+    """
+    name = metric_type.name
+    if not name:
+        raise ValueError(
+            f"{metric_type.__name__} must set a non-empty `name` attribute"
+        )
+    existing = _METRIC_TYPES.get(name)
+    if existing is not None and existing is not metric_type:
+        raise ValueError(
+            f"metric name {name!r} is already taken by {existing.__name__}"
+        )
+    _METRIC_TYPES[name] = metric_type
+    return metric_type
+
+
+def _unknown_metric_error(name: str) -> ValueError:
+    import difflib
+
+    known = sorted(_METRIC_TYPES)
+    close = difflib.get_close_matches(name.lower(), known, n=3)
+    hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
+    return ValueError(
+        f"unknown metric {name!r}{hint}; known: {', '.join(known)}"
+    )
+
+
+def metric_type_by_name(name: str) -> Type[RouteMetric]:
+    """The metric class behind a table name, without instantiating it."""
+    try:
+        return _METRIC_TYPES[name.lower()]
+    except KeyError:
+        raise _unknown_metric_error(name) from None
+
+
 def metric_by_name(name: str, **kwargs: object) -> RouteMetric:
     """Instantiate a metric from its table name (e.g. ``"spp"``)."""
-    try:
-        metric_type = _METRIC_TYPES[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(_METRIC_TYPES))
-        raise ValueError(f"unknown metric {name!r}; known: {known}") from None
-    return metric_type(**kwargs)  # type: ignore[arg-type]
+    return metric_type_by_name(name)(**kwargs)  # type: ignore[arg-type]

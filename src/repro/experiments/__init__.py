@@ -5,6 +5,8 @@
 * :mod:`repro.experiments.runner` -- run variants across topologies and
   collect :class:`~repro.experiments.results.RunResult` rows.
 * :mod:`repro.experiments.results` -- aggregation and normalization.
+* :mod:`repro.experiments.spec` -- declarative, serializable
+  :class:`~repro.experiments.spec.ExperimentSpec` sweeps (TOML/JSON).
 * :mod:`repro.experiments.figures` -- one entry point per paper table or
   figure (the benchmark suite calls these).
 """
@@ -17,12 +19,21 @@ from repro.experiments.results import (
     aggregate_runs,
     normalized_metric_table,
 )
-from repro.experiments.runner import compare_protocols, run_protocol
+from repro.experiments.runner import (
+    compare_protocols,
+    run_experiment,
+    run_protocol,
+)
 from repro.experiments.scenarios import (
     PROTOCOL_NAMES,
     SimulationScenario,
     SimulationScenarioConfig,
     build_simulation_scenario,
+)
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SpecError,
+    load_experiment_spec,
 )
 
 __all__ = [
@@ -30,6 +41,10 @@ __all__ = [
     "SimulationScenario",
     "build_simulation_scenario",
     "PROTOCOL_NAMES",
+    "ExperimentSpec",
+    "SpecError",
+    "load_experiment_spec",
+    "run_experiment",
     "run_protocol",
     "compare_protocols",
     "RunResult",

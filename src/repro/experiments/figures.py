@@ -29,7 +29,11 @@ from repro.experiments.scenarios import (
 )
 from repro.testbed.emulator import TestbedScenarioConfig, build_testbed_scenario
 
-METRIC_PROTOCOLS = ("ett", "etx", "metx", "pp", "spp")
+#: The five metric-enhanced variants (everything in the paper family
+#: except the min-hop baseline), in registry order.
+METRIC_PROTOCOLS = tuple(
+    name for name in PROTOCOL_NAMES if name != "odmrp"
+)
 
 #: Paper-reported normalized throughput, simulations (Section 4.2.1).
 PAPER_THROUGHPUT_SIMULATIONS = {

@@ -50,7 +50,10 @@ from repro.telemetry.manifest import canonicalize
 #: entries from older code versions can never be returned.
 #: v2: configs gained a ``telemetry`` section and results a
 #: ``telemetry_path`` field.
-CACHE_SCHEMA_VERSION = 2
+#: v3: protocol names resolve through the protocol registry (router x
+#: metric specs; MAODV/WCETT entries joined the namespace) and probing
+#: configs gained WCETT pair sizes.
+CACHE_SCHEMA_VERSION = 3
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "runs")

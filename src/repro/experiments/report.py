@@ -20,14 +20,28 @@ from repro.experiments.results import (
     aggregate_runs,
     normalized_metric_table,
 )
-
-_PROTOCOL_ORDER = ("odmrp", "ett", "etx", "metx", "pp", "spp")
+from repro.protocols import protocol_names
 
 
 def _ordered(names: Sequence[str]) -> List[str]:
-    known = [name for name in _PROTOCOL_ORDER if name in names]
+    """Registry registration order first, unknown names sorted after."""
+    order = protocol_names()
+    known = [name for name in order if name in names]
     extra = sorted(set(names) - set(known))
     return known + extra
+
+
+def _baseline_for(names: Sequence[str], preferred: str = "odmrp") -> str:
+    """The normalization baseline: ``preferred`` when the sweep ran it,
+    otherwise the sweep's first protocol in registry order (so a pure
+    MAODV sweep normalizes against min-hop "maodv", mirroring the
+    paper's Figure 2 treatment of each protocol family)."""
+    if preferred in names:
+        return preferred
+    ordered = _ordered(names)
+    if not ordered:
+        raise ValueError("no protocols to report")
+    return ordered[0]
 
 
 def markdown_table(
@@ -48,10 +62,12 @@ def markdown_table(
 def throughput_section(
     runs: Sequence[RunResult],
     paper: Optional[Mapping[str, float]] = None,
-    baseline: str = "odmrp",
+    baseline: Optional[str] = None,
 ) -> str:
     """Normalized throughput with per-protocol 95 % CIs over topologies."""
     aggregates = aggregate_runs(runs)
+    if baseline is None:
+        baseline = _baseline_for(list(aggregates))
     normalized = normalized_metric_table(aggregates, "throughput", baseline)
     baseline_mean = aggregates[baseline].mean_throughput_bps
     rows = []
@@ -86,10 +102,13 @@ def throughput_section(
 def overhead_section(
     runs: Sequence[RunResult],
     paper: Optional[Mapping[str, float]] = None,
+    baseline: Optional[str] = None,
 ) -> str:
     aggregates = aggregate_runs(runs)
+    if baseline is None:
+        baseline = _baseline_for(list(aggregates))
     rows = []
-    for name in _ordered([n for n in aggregates if n != "odmrp"]):
+    for name in _ordered([n for n in aggregates if n != baseline]):
         paper_cell = (
             f"{paper[name]:.2f}" if paper and name in paper else "-"
         )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
 
 from repro.experiments.results import RunResult
 from repro.experiments.scenarios import (
@@ -18,8 +18,12 @@ from repro.experiments.scenarios import (
     SimulationScenarioConfig,
     build_simulation_scenario,
 )
+from repro.protocols import protocol_by_name
 from repro.telemetry.export import trace_filename, write_trace
 from repro.telemetry.manifest import build_manifest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec -> here)
+    from repro.experiments.spec import ExperimentSpec
 
 ProgressCallback = Callable[[str, int], None]
 
@@ -64,6 +68,14 @@ def export_run_telemetry(
     if hub is None:
         return None
     config = scenario.config
+    extra = {
+        "num_nodes": config.num_nodes,
+        "samples_taken": hub.samples_taken,
+        "offered_packets": scenario.offered_packets(),
+    }
+    if scenario.spec is not None:
+        # Provenance for sweep tooling: which registry binding ran.
+        extra["protocol_spec"] = scenario.spec.to_record()
     manifest = build_manifest(
         scenario.protocol_name,
         config,
@@ -71,11 +83,9 @@ def export_run_telemetry(
         wall_time_s=wall_time_s,
         sim_duration_s=config.duration_s,
         events_executed=scenario.network.sim.events_executed,
-        extra={
-            "num_nodes": config.num_nodes,
-            "samples_taken": hub.samples_taken,
-            "offered_packets": scenario.offered_packets(),
-        },
+        family=scenario.spec.family if scenario.spec is not None else "",
+        metric=scenario.spec.metric if scenario.spec is not None else None,
+        extra=extra,
     )
     path = os.path.join(telemetry_export_dir(config), trace_filename(manifest))
     return write_trace(path, hub, manifest)
@@ -144,6 +154,10 @@ def compare_protocols(
     """
     if config is None:
         config = SimulationScenarioConfig()
+    # Resolve every name up front: a typo'd protocol fails here with the
+    # registry's valid-name listing instead of deep inside a worker.
+    for name in protocols:
+        protocol_by_name(name)
 
     from repro.experiments.parallel import execute_runs, sweep_specs
 
@@ -151,4 +165,28 @@ def compare_protocols(
     return execute_runs(
         specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
         progress=progress,
+    )
+
+
+def run_experiment(
+    spec: "ExperimentSpec",
+    progress: Optional[ProgressCallback] = None,
+    cache_dir: Optional[str] = None,
+) -> List[RunResult]:
+    """Execute a declarative :class:`~repro.experiments.spec.ExperimentSpec`.
+
+    The spec is validated (every protocol resolved through the registry)
+    before any simulation starts; execution then flows through the same
+    :func:`compare_protocols` path as programmatic sweeps, so parallel
+    fan-out, the result cache, and telemetry export all apply.
+    """
+    spec.validate()
+    return compare_protocols(
+        spec.config,
+        protocols=spec.protocols,
+        topology_seeds=spec.seeds,
+        progress=progress,
+        jobs=spec.jobs,
+        use_cache=spec.use_cache,
+        cache_dir=cache_dir,
     )

@@ -5,6 +5,12 @@ one protocol variant: 50 static nodes in 1000 m x 1000 m, two-ray
 propagation with Rayleigh fading, 250 m nominal range, 2 Mbps channel,
 two multicast groups of ten members, CBR 512 B @ 20 pkt/s per source.
 
+The protocol variant is resolved through the protocol registry
+(:mod:`repro.protocols`): the spec names the router class, the metric,
+and any per-protocol config overrides, so the builder contains no
+string dispatch -- registering a new ``ProtocolSpec`` is enough to make
+it sweepable here.
+
 The topology and group membership are drawn from the *topology seed
 only*, so every protocol variant runs over the identical mesh and
 workload -- only the routing behaviour differs, as in the paper's
@@ -16,12 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from repro.core.metrics import RouteMetric, metric_by_name
+from repro.core.metrics import RouteMetric
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Position, random_topology
 from repro.odmrp.config import OdmrpConfig
 from repro.odmrp.protocol import OdmrpRouter
 from repro.probing.manager import ProbingConfig, ProbingManager
+from repro.protocols import ProtocolSpec, paper_protocol_names, protocol_by_name
 from repro.sim.rng import RngRegistry
 from repro.telemetry.hub import TelemetryConfig, TelemetryHub
 from repro.telemetry.probes import finalize_scenario, install_scenario_probes
@@ -29,8 +36,10 @@ from repro.traffic.cbr import CbrSource
 from repro.traffic.groups import GroupScenario, build_group_scenario
 from repro.traffic.sink import MulticastSink
 
-#: "odmrp" is the original protocol; the rest are ODMRP_<METRIC>.
-PROTOCOL_NAMES = ("odmrp", "ett", "etx", "metx", "pp", "spp")
+#: The paper's six simulation variants ("odmrp" is the original protocol;
+#: the rest are ODMRP_<METRIC>).  Derived from the registry -- kept as a
+#: module constant for backward compatibility with existing sweeps.
+PROTOCOL_NAMES = paper_protocol_names()
 
 
 @dataclass
@@ -81,6 +90,9 @@ class SimulationScenario:
     positions: List[Position]
     #: The run's telemetry hub, or None when telemetry is disabled.
     telemetry: Optional[TelemetryHub] = None
+    #: The registry spec this scenario was built from (None only for
+    #: hand-assembled scenarios that bypass the registry).
+    spec: Optional[ProtocolSpec] = None
 
     def run(self) -> None:
         """Run the full configured duration.
@@ -111,36 +123,25 @@ class SimulationScenario:
         return total
 
 
-def _metric_for(protocol_name: str, config: SimulationScenarioConfig) -> Optional[RouteMetric]:
-    name = protocol_name.lower()
-    if name == "odmrp":
-        return None
-    if name == "ett":
-        return metric_by_name(
-            "ett",
-            packet_size_bytes=config.packet_size_bytes,
-            default_bandwidth_bps=config.network.data_rate_bps,
-        )
-    return metric_by_name(name)
-
-
 def build_simulation_scenario(
     protocol_name: str,
     config: Optional[SimulationScenarioConfig] = None,
-    router_class: type = OdmrpRouter,
+    router_class: Optional[type] = None,
 ) -> SimulationScenario:
     """Assemble the paper's simulation scenario for one protocol variant.
 
-    ``router_class`` swaps the multicast protocol implementation; the
-    MAODV extension passes :class:`repro.maodv.protocol.MaodvRouter` to
-    run the identical scenario over a tree-based protocol.
+    ``protocol_name`` is resolved through the protocol registry, which
+    supplies the router class, metric, and per-protocol config overrides
+    (e.g. ``"spp"`` -> ODMRP_SPP, ``"maodv-etx"`` -> tree-based router on
+    ETX).  An explicit ``router_class`` overrides the spec's router --
+    the historical escape hatch for running a registered metric binding
+    over a different protocol implementation.
     """
     if config is None:
         config = SimulationScenarioConfig()
-    if protocol_name.lower() not in PROTOCOL_NAMES:
-        raise ValueError(
-            f"unknown protocol {protocol_name!r}; choose from {PROTOCOL_NAMES}"
-        )
+    spec = protocol_by_name(protocol_name)
+    if router_class is not None and router_class is not spec.router:
+        spec = replace(spec, router=router_class)
 
     # Topology and membership depend only on the topology seed, so all
     # protocol variants see the same mesh and workload.
@@ -161,21 +162,25 @@ def build_simulation_scenario(
     )
 
     network = Network(positions, seed=config.topology_seed, config=config.network)
-    metric = _metric_for(protocol_name, config)
+    metric = spec.build_metric(
+        packet_size_bytes=config.packet_size_bytes,
+        default_bandwidth_bps=config.network.data_rate_bps,
+    )
 
     probing: Optional[ProbingManager] = None
     if metric is not None:
         probing = ProbingManager(network, metric, config.probing)
         probing.start()
 
+    protocol_config = spec.protocol_config(config.odmrp)
     sink = MulticastSink(network.sim)
     routers: Dict[int, OdmrpRouter] = {}
     for node in network.nodes:
         table = probing.table(node.node_id) if probing is not None else None
-        routers[node.node_id] = router_class(
+        routers[node.node_id] = spec.router(
             network.sim,
             node,
-            config=config.odmrp,
+            config=protocol_config,
             metric=metric,
             neighbor_table=table,
             on_deliver=sink.on_deliver,
@@ -198,7 +203,7 @@ def build_simulation_scenario(
 
     scenario = SimulationScenario(
         config=config,
-        protocol_name=protocol_name.lower(),
+        protocol_name=spec.name,
         network=network,
         metric=metric,
         probing=probing,
@@ -207,6 +212,7 @@ def build_simulation_scenario(
         sources=sources,
         groups=groups,
         positions=positions,
+        spec=spec,
     )
     if config.telemetry.enabled:
         scenario.telemetry = TelemetryHub(config.telemetry)

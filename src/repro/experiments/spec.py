@@ -1,0 +1,380 @@
+"""Declarative experiment specs: a sweep as serializable data.
+
+An :class:`ExperimentSpec` captures everything
+:func:`~repro.experiments.runner.compare_protocols` needs -- the
+protocol list (resolved through the protocol registry), topology seeds,
+parallelism/caching knobs, and the full
+:class:`~repro.experiments.scenarios.SimulationScenarioConfig` -- as a
+plain dataclass that round-trips losslessly through ``dict``, JSON, and
+TOML.  That makes every router x metric sweep shippable as a file::
+
+    repro run --spec examples/paper_spec.toml
+    repro run --spec examples/maodv_sweep.toml --protocols maodv,maodv-spp
+
+Serialization rules
+-------------------
+* Nested config dataclasses become nested tables/objects; unknown keys
+  are rejected (a typo'd field fails loudly at load time, not silently
+  mid-sweep).
+* ``None`` fields are omitted on write (TOML has no null); absent keys
+  take the dataclass default on read, so defaults never bloat spec
+  files.
+* Model *instances* (a custom propagation or fading object) are not
+  serializable -- specs describe the declarative surface only, and
+  :meth:`ExperimentSpec.to_dict` refuses exotic values instead of
+  writing a lossy ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    get_args,
+    get_origin,
+    get_type_hints,
+)
+
+from repro.experiments.scenarios import (
+    PROTOCOL_NAMES,
+    SimulationScenarioConfig,
+)
+from repro.protocols import ProtocolSpec, protocol_by_name
+
+#: Bump when the on-disk spec layout changes incompatibly.
+SPEC_SCHEMA_VERSION = 1
+
+
+class SpecError(ValueError):
+    """A spec file or dict that cannot be interpreted."""
+
+
+# ----------------------------------------------------------------------
+# Dataclass <-> plain-dict conversion (strict, lossless)
+
+
+def _plain(value: Any, where: str) -> Any:
+    """Reduce a config value to JSON/TOML primitives, refusing the rest."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {}
+        for f in dataclasses.fields(value):
+            item = _plain(getattr(value, f.name), f"{where}.{f.name}")
+            if item is not None:
+                out[f.name] = item
+        return out
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v, f"{where}[{k!r}]") for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item, f"{where}[]") for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SpecError(
+        f"{where} = {value!r} is not serializable; experiment specs may "
+        "only contain primitives and config dataclasses (construct model "
+        "instances in code instead)"
+    )
+
+
+def _strip_optional(hint: Any) -> Any:
+    if get_origin(hint) is Union:
+        args = [a for a in get_args(hint) if a is not type(None)]
+        if len(args) == 1:
+            return args[0]
+    return hint
+
+
+def _build_dataclass(cls: type, data: Mapping[str, Any], where: str) -> Any:
+    """Reconstruct a (possibly nested) config dataclass from a mapping."""
+    if not isinstance(data, Mapping):
+        raise SpecError(f"{where} must be a table/object, got {data!r}")
+    field_types = get_type_hints(cls)
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise SpecError(
+            f"unknown key(s) {sorted(unknown)} in {where}; valid keys: "
+            + ", ".join(sorted(names))
+        )
+    kwargs: Dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        target = _strip_optional(field_types[f.name])
+        if dataclasses.is_dataclass(target) and isinstance(value, Mapping):
+            value = _build_dataclass(target, value, f"{where}.{f.name}")
+        kwargs[f.name] = value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"invalid {where}: {exc}") from exc
+
+
+def config_to_dict(config: SimulationScenarioConfig) -> Dict[str, Any]:
+    """A scenario config as nested primitives (raises on model instances)."""
+    return _plain(config, "config")
+
+
+def config_from_dict(data: Mapping[str, Any]) -> SimulationScenarioConfig:
+    """Rebuild a scenario config; unknown keys are an error."""
+    return _build_dataclass(SimulationScenarioConfig, data, "config")
+
+
+# ----------------------------------------------------------------------
+# A minimal TOML emitter (tomllib is read-only).  Covers exactly the
+# value shapes _plain() can produce: str/bool/int/float scalars, lists
+# of scalars, and nested string-keyed tables.
+
+_BARE_KEY = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+def _toml_key(key: str) -> str:
+    if key and all(ch in _BARE_KEY for ch in key):
+        return key
+    return json.dumps(key)
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, str)):
+        return json.dumps(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SpecError(f"non-finite float {value!r} in spec")
+        text = repr(value)
+        # TOML requires a decimal point or exponent on floats.
+        return text if any(c in text for c in ".eE") else text + ".0"
+    if isinstance(value, list):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise SpecError(f"cannot render {value!r} as TOML")
+
+
+def toml_dumps(data: Mapping[str, Any]) -> str:
+    """Serialize a nested dict of primitives to TOML text."""
+
+    def emit(table: Mapping[str, Any], prefix: str, lines: List[str]) -> None:
+        scalars = {k: v for k, v in table.items() if not isinstance(v, Mapping)}
+        subtables = {k: v for k, v in table.items() if isinstance(v, Mapping)}
+        if prefix and (scalars or not subtables):
+            lines.append(f"[{prefix}]")
+        for key, value in scalars.items():
+            lines.append(f"{_toml_key(key)} = {_toml_value(value)}")
+        if scalars or not prefix:
+            lines.append("")
+        for key, value in subtables.items():
+            path = f"{prefix}.{_toml_key(key)}" if prefix else _toml_key(key)
+            emit(value, path, lines)
+
+    lines: List[str] = []
+    emit(data, "", lines)
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The spec itself
+
+
+@dataclass
+class ExperimentSpec:
+    """One declarative sweep: protocols x seeds over one scenario config."""
+
+    name: str = "experiment"
+    description: str = ""
+    protocols: Tuple[str, ...] = PROTOCOL_NAMES
+    seeds: Tuple[int, ...] = (1,)
+    jobs: int = 1
+    use_cache: bool = False
+    config: SimulationScenarioConfig = field(
+        default_factory=SimulationScenarioConfig
+    )
+
+    def __post_init__(self) -> None:
+        self.protocols = tuple(self.protocols)
+        self.seeds = tuple(self.seeds)
+
+    # -- validation ----------------------------------------------------
+
+    def resolve_protocols(self) -> Tuple[ProtocolSpec, ...]:
+        """Resolve every protocol name through the registry (typo-safe)."""
+        return tuple(protocol_by_name(name) for name in self.protocols)
+
+    def validate(self) -> "ExperimentSpec":
+        """Check the spec is runnable; returns self for chaining."""
+        if not self.protocols:
+            raise SpecError("spec lists no protocols")
+        if not self.seeds:
+            raise SpecError("spec lists no topology seeds")
+        if any(not isinstance(seed, int) or isinstance(seed, bool)
+               for seed in self.seeds):
+            raise SpecError(f"seeds must be integers, got {self.seeds!r}")
+        self.resolve_protocols()
+        return self
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.protocols) * len(self.seeds)
+
+    def describe(self) -> str:
+        """Human-readable run plan (the CLI's ``--dry-run`` output)."""
+        lines = [
+            f"experiment: {self.name}",
+        ]
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines += [
+            f"runs: {len(self.protocols)} protocols x "
+            f"{len(self.seeds)} topologies = {self.total_runs}",
+            f"seeds: {', '.join(str(seed) for seed in self.seeds)}",
+            f"scenario: {self.config.num_nodes} nodes, "
+            f"{self.config.duration_s:g} s simulated, "
+            f"{self.config.num_groups} group(s) x "
+            f"{self.config.members_per_group} members",
+            f"execution: jobs={self.jobs} "
+            f"cache={'on' if self.use_cache else 'off'} "
+            f"telemetry={'on' if self.config.telemetry.enabled else 'off'}",
+            "protocols:",
+        ]
+        for proto in self.resolve_protocols():
+            metric = proto.metric or "min-hop"
+            lines.append(
+                f"  {proto.name:<12} family={proto.family:<13} "
+                f"metric={metric:<8} router={proto.router.__name__}"
+            )
+        return "\n".join(lines)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "protocols": list(self.protocols),
+            "seeds": list(self.seeds),
+            "jobs": self.jobs,
+            "use_cache": self.use_cache,
+            "config": config_to_dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"spec must be a table/object, got {data!r}")
+        schema = data.get("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                f"spec schema {schema!r} not supported "
+                f"(this version reads schema {SPEC_SCHEMA_VERSION})"
+            )
+        known = {
+            "schema", "name", "description", "protocols", "seeds",
+            "jobs", "use_cache", "config",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(
+                f"unknown key(s) {sorted(unknown)} in spec; valid keys: "
+                + ", ".join(sorted(known))
+            )
+        kwargs: Dict[str, Any] = {}
+        for key in ("name", "description", "jobs", "use_cache"):
+            if key in data:
+                kwargs[key] = data[key]
+        if "protocols" in data:
+            kwargs["protocols"] = tuple(data["protocols"])
+        if "seeds" in data:
+            kwargs["seeds"] = tuple(data["seeds"])
+        if "config" in data:
+            kwargs["config"] = config_from_dict(data["config"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"invalid JSON spec: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_toml(self) -> str:
+        return toml_dumps(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ExperimentSpec":
+        try:
+            import tomllib
+        except ImportError:  # Python 3.10: tomllib landed in 3.11
+            try:
+                import tomli as tomllib  # type: ignore[no-redef]
+            except ImportError:
+                raise SpecError(
+                    "reading TOML specs needs Python >= 3.11 (tomllib) "
+                    "or the 'tomli' package; use a .json spec instead"
+                ) from None
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(f"invalid TOML spec: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- files ---------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Write the spec to ``path`` (.toml or .json, by extension)."""
+        text = self.to_json() if _is_json(path) else self.to_toml()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentSpec":
+        """Read a spec file (.toml or .json, by extension)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        return cls.from_json(text) if _is_json(path) else cls.from_toml(text)
+
+    # -- derived specs -------------------------------------------------
+
+    def with_overrides(
+        self,
+        protocols: Optional[Sequence[str]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None,
+    ) -> "ExperimentSpec":
+        """A copy with CLI-style overrides applied (None = keep)."""
+        return dataclasses.replace(
+            self,
+            protocols=tuple(protocols) if protocols is not None
+            else self.protocols,
+            seeds=tuple(seeds) if seeds is not None else self.seeds,
+            jobs=self.jobs if jobs is None else jobs,
+            use_cache=self.use_cache if use_cache is None else use_cache,
+        )
+
+
+def _is_json(path: str) -> bool:
+    return path.lower().endswith(".json")
+
+
+def load_experiment_spec(path: str) -> ExperimentSpec:
+    """Module-level convenience alias for :meth:`ExperimentSpec.load`."""
+    return ExperimentSpec.load(path)

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
+from repro.core.metrics import EttMetric, register_metric
+
 
 @dataclass(frozen=True)
 class HopEtt:
@@ -83,3 +85,43 @@ def mc_wcett(
     measurement convention their ETTs follow.
     """
     return wcett(hops, beta)
+
+
+@register_metric
+class WcettSingleChannelMetric(EttMetric):
+    """WCETT folded into the single-channel simulator's path algebra.
+
+    On one channel every hop shares the channel, so the bottleneck term
+    equals the total airtime: ``max_j X_j == sum_i ETT_i``, and
+
+        WCETT = (1 - beta) * sum ETT + beta * sum ETT = sum ETT
+
+    for *any* beta -- WCETT degenerates exactly to forward-only ETT.
+    That degeneration is what makes the metric expressible as a
+    hop-by-hop accumulated scalar (which ODMRP's JOIN QUERY requires);
+    the full multi-channel form needs per-channel sums and lives in the
+    path-level functions above (:func:`mc_wcett`,
+    :func:`bottleneck_channel_airtime`).
+
+    Registered as ``"wcett"`` so the protocol registry can offer the
+    multi-channel future-work entry through the same sweep pipeline as
+    the paper's six variants; ``beta`` is carried for forward
+    compatibility and reporting but, per the identity above, cannot
+    affect single-channel path choices.
+    """
+
+    name = "wcett"
+
+    def __init__(
+        self,
+        packet_size_bytes: int = 512,
+        default_bandwidth_bps: float = 2_000_000.0,
+        beta: float = 0.5,
+    ) -> None:
+        super().__init__(
+            packet_size_bytes=packet_size_bytes,
+            default_bandwidth_bps=default_bandwidth_bps,
+        )
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        self.beta = beta

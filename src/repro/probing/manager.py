@@ -56,10 +56,12 @@ class ProbingConfig:
         # at full scale; the paper itself does not give probe sizes.
         if self.probe_size_bytes is None:
             self.probe_size_bytes = {"etx": 61, "metx": 57, "spp": 49}
+        # WCETT's link measurement *is* forward-only ETT (see
+        # repro.multichannel.wcett), so it probes with ETT-sized pairs.
         if self.pair_small_bytes is None:
-            self.pair_small_bytes = {"pp": 106, "ett": 129}
+            self.pair_small_bytes = {"pp": 106, "ett": 129, "wcett": 129}
         if self.pair_large_bytes is None:
-            self.pair_large_bytes = {"pp": 372, "ett": 441}
+            self.pair_large_bytes = {"pp": 372, "ett": 441, "wcett": 441}
 
     @property
     def effective_broadcast_interval_s(self) -> float:
@@ -75,7 +77,7 @@ def prober_kind_for_metric(metric_name: str) -> Optional[str]:
     name = metric_name.lower()
     if name in ("etx", "metx", "spp"):
         return "broadcast"
-    if name in ("pp", "ett"):
+    if name in ("pp", "ett", "wcett"):
         return "pair"
     if name == "hopcount":
         return None

@@ -1,0 +1,34 @@
+"""Protocol registry: named router x metric combinations.
+
+Importing this package seeds the default registry with the paper's six
+ODMRP variants, six tree-based MAODV variants, and the single-channel
+WCETT entry; see :mod:`repro.protocols.registry`.
+"""
+
+from repro.protocols.registry import (
+    REGISTRY,
+    DuplicateProtocolError,
+    ProtocolRegistry,
+    ProtocolSpec,
+    UnknownProtocolError,
+    maodv_protocol_names,
+    paper_protocol_names,
+    protocol_by_name,
+    protocol_names,
+    register_protocol,
+    registers,
+)
+
+__all__ = [
+    "ProtocolSpec",
+    "ProtocolRegistry",
+    "REGISTRY",
+    "DuplicateProtocolError",
+    "UnknownProtocolError",
+    "register_protocol",
+    "registers",
+    "protocol_by_name",
+    "protocol_names",
+    "paper_protocol_names",
+    "maodv_protocol_names",
+]

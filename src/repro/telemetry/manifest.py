@@ -20,7 +20,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 #: Bump when the manifest record shape changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: manifests carry the registry resolution (``family``, ``metric``)
+#: next to the protocol name, so a trace pins which router x metric
+#: binding produced it.
+MANIFEST_SCHEMA_VERSION = 2
 
 
 def canonicalize(obj: Any) -> Any:
@@ -83,6 +86,10 @@ class RunManifest:
     seed: int
     config_hash: str
     schema: int = MANIFEST_SCHEMA_VERSION
+    #: Registry resolution of the protocol name ("" / None for traces
+    #: written by pre-registry versions or hand-built scenarios).
+    family: str = ""
+    metric: Optional[str] = None
     package_version: str = ""
     created_unix: float = 0.0
     wall_time_s: float = 0.0
@@ -116,6 +123,8 @@ def build_manifest(
     wall_time_s: float = 0.0,
     sim_duration_s: float = 0.0,
     events_executed: int = 0,
+    family: str = "",
+    metric: Optional[str] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a manifest for one finished (or about-to-run) run."""
@@ -123,6 +132,8 @@ def build_manifest(
         protocol=protocol.lower(),
         seed=seed,
         config_hash=config_digest(config),
+        family=family,
+        metric=metric,
         package_version=package_version(),
         created_unix=time.time(),
         wall_time_s=wall_time_s,

@@ -160,7 +160,15 @@ def install_scenario_probes(hub: TelemetryHub, scenario: "SimulationScenario") -
         unit="rebroadcasts/tick",
     )
 
-    if any(isinstance(router, MaodvRouter) for router in routers.values()):
+    # Tree probes apply when the registry spec resolved a tree-based
+    # router (any MaodvRouter subclass); hand-assembled scenarios without
+    # a spec fall back to inspecting the router instances directly.
+    spec = scenario.spec
+    runs_tree_router = (
+        issubclass(spec.router, MaodvRouter) if spec is not None
+        else any(isinstance(router, MaodvRouter) for router in routers.values())
+    )
+    if runs_tree_router:
         hub.add_probe(
             "maodv.tree_nodes",
             lambda: float(sum(

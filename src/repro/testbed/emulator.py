@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.core.metrics import RouteMetric, metric_by_name
+from repro.core.metrics import RouteMetric
 from repro.net.network import Network, NetworkConfig
 from repro.odmrp.config import OdmrpConfig
 from repro.odmrp.protocol import OdmrpRouter
@@ -140,19 +140,6 @@ class TestbedScenario:
         return sorted(links, key=lambda item: -item[2])
 
 
-def _metric_for(
-    protocol_name: str, config: TestbedScenarioConfig
-) -> Optional[RouteMetric]:
-    name = protocol_name.lower()
-    if name == "odmrp":
-        return None
-    if name == "ett":
-        return metric_by_name(
-            "ett", packet_size_bytes=config.packet_size_bytes
-        )
-    return metric_by_name(name)
-
-
 def build_testbed_scenario(
     protocol_name: str,
     config: Optional[TestbedScenarioConfig] = None,
@@ -198,20 +185,28 @@ def build_testbed_scenario(
         radio_params=testbed_radio_params(),
     )
 
-    metric = _metric_for(protocol_name, config)
+    # The protocol registry supplies metric, router class, and any
+    # per-protocol config overrides -- the same resolution the
+    # simulation scenario builder uses, so MAODV/WCETT entries run over
+    # the emulated testbed too.
+    from repro.protocols import protocol_by_name
+
+    spec = protocol_by_name(protocol_name)
+    metric = spec.build_metric(packet_size_bytes=config.packet_size_bytes)
     probing: Optional[ProbingManager] = None
     if metric is not None:
         probing = ProbingManager(network, metric, config.probing)
         probing.start()
 
+    protocol_config = spec.protocol_config(config.odmrp)
     sink = MulticastSink(network.sim)
     routers: Dict[int, OdmrpRouter] = {}
     for node in network.nodes:
         table = probing.table(node.node_id) if probing is not None else None
-        routers[node.node_id] = OdmrpRouter(
+        routers[node.node_id] = spec.router(
             network.sim,
             node,
-            config=config.odmrp,
+            config=protocol_config,
             metric=metric,
             neighbor_table=table,
             on_deliver=sink.on_deliver,
@@ -249,7 +244,7 @@ def build_testbed_scenario(
 
     return TestbedScenario(
         config=config,
-        protocol_name=protocol_name.lower(),
+        protocol_name=spec.name,
         network=network,
         metric=metric,
         probing=probing,

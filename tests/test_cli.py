@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
 class TestParser:
@@ -68,6 +72,87 @@ class TestSimulationCommands:
         out = capsys.readouterr().out
         assert "overhead" in out
         assert "ett" in out and "spp" in out
+
+
+class TestRunCommand:
+    def test_dry_run_with_example_spec(self, capsys):
+        code = main([
+            "run", "--spec", str(EXAMPLES_DIR / "paper_spec.toml"),
+            "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment: paper-baseline" in out
+        assert "6 protocols x 10 topologies = 60" in out
+        assert "dry run" in out
+
+    def test_dry_run_protocol_override(self, capsys):
+        code = main([
+            "run", "--spec", str(EXAMPLES_DIR / "maodv_sweep.toml"),
+            "--protocols", "maodv,maodv-spp", "--seeds", "4",
+            "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 protocols x 1 topologies = 2" in out
+        assert "maodv-spp" in out
+        assert "MaodvRouter" in out
+
+    def test_typoed_protocol_fails_with_suggestion(self, capsys):
+        code = main([
+            "run", "--protocols", "sppp", "--dry-run",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown protocol 'sppp'" in err
+        assert "did you mean" in err
+
+    def test_missing_spec_file_fails_cleanly(self, capsys):
+        code = main(["run", "--spec", "no/such/spec.toml", "--dry-run"])
+        assert code == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_bad_seeds_rejected(self, capsys):
+        code = main(["run", "--seeds", "1,two", "--dry-run"])
+        assert code == 1
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_run_tiny_spec_end_to_end(self, tmp_path, capsys):
+        from repro.experiments.spec import ExperimentSpec
+        from repro.experiments.scenarios import SimulationScenarioConfig
+
+        spec = ExperimentSpec(
+            name="cli-tiny",
+            protocols=("odmrp", "spp"),
+            seeds=(1,),
+            config=SimulationScenarioConfig(
+                num_nodes=8, area_width_m=450.0, area_height_m=450.0,
+                num_groups=1, members_per_group=3,
+                duration_s=10.0, warmup_s=4.0,
+            ),
+        )
+        spec_path = tmp_path / "tiny.toml"
+        report_path = tmp_path / "report.md"
+        spec.save(str(spec_path))
+        code = main([
+            "run", "--spec", str(spec_path),
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# cli-tiny" in out
+        assert report_path.exists()
+        assert "Normalized throughput" in report_path.read_text()
+
+
+class TestProtocolsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "registered protocols" in out
+        for name in ("odmrp", "spp", "maodv-spp", "wcett"):
+            assert name in out
+        assert "MaodvRouter" in out and "OdmrpRouter" in out
 
 
 class TestTestbedCommands:

@@ -1,9 +1,11 @@
-"""Smoke tests for the example scripts.
+"""Smoke tests for the example scripts and shipped spec files.
 
-Each example is importable (no work at import time) and exposes a
-``main()``.  The fast ones are executed end-to-end; the slow ones
+Each example script is importable (no work at import time) and exposes
+a ``main()``.  The fast ones are executed end-to-end; the slow ones
 (multi-minute sweeps) are only imported -- their underlying entry points
-are exercised by the benchmark suite anyway.
+are exercised by the benchmark suite anyway.  Every ``examples/*.toml``
+experiment spec must load, validate against the protocol registry, and
+round-trip.
 """
 
 from __future__ import annotations
@@ -38,6 +40,36 @@ class TestExamplesImport:
     def test_importable_with_main(self, name):
         module = load_example(name)
         assert callable(module.main)
+
+
+SPEC_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.toml"))
+
+
+class TestExampleSpecs:
+    def test_spec_examples_are_shipped(self):
+        names = {path.name for path in SPEC_EXAMPLES}
+        assert {"paper_spec.toml", "maodv_sweep.toml"} <= names
+
+    @pytest.mark.parametrize(
+        "path", SPEC_EXAMPLES, ids=[p.stem for p in SPEC_EXAMPLES]
+    )
+    def test_spec_loads_validates_and_round_trips(self, path):
+        from repro.experiments.spec import ExperimentSpec
+
+        spec = ExperimentSpec.load(str(path)).validate()
+        assert spec.total_runs > 0
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+        # The dry-run plan renders without touching a simulator.
+        assert spec.name in spec.describe()
+
+    def test_paper_spec_is_the_section_41_baseline(self):
+        from repro.experiments.spec import ExperimentSpec
+
+        spec = ExperimentSpec.load(str(EXAMPLES_DIR / "paper_spec.toml"))
+        assert spec.protocols == ("odmrp", "ett", "etx", "metx", "pp", "spp")
+        assert len(spec.seeds) == 10
+        assert spec.config.num_nodes == 50
+        assert spec.config.duration_s == 400.0
 
 
 class TestFastExamplesRun:

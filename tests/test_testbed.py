@@ -193,8 +193,10 @@ class TestEmulator:
         assert rates_a == rates_b
 
     def test_unknown_protocol_rejected(self):
+        # ("wcett" used to be the canary here, but it is a registered
+        # protocol now and runs over the testbed like any other entry.)
         with pytest.raises(ValueError):
-            build_testbed_scenario("wcett")
+            build_testbed_scenario("dsdv")
 
     def test_heavily_used_links_structure(self):
         config = TestbedScenarioConfig(duration_s=60.0, warmup_s=10.0)
