@@ -14,6 +14,7 @@ Commands::
     fig4        Figure 4 ping-based link classification
     fig5        Figure 5 tree edges, ODMRP vs ODMRP_PP
     run         Execute a declarative experiment spec (TOML/JSON)
+    validate    Invariant-monitored runs + differential scenario fuzzing
     protocols   List the registered router x metric combinations
     telemetry   Inspect exported run telemetry (summarize / diff)
 
@@ -308,6 +309,85 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.experiments.spec import ExperimentSpec, SpecError
+    from repro.validation.fuzzing import (
+        default_validation_spec,
+        differential_check,
+        random_spec,
+        run_with_invariants,
+        write_replay_spec,
+    )
+    from repro.validation.invariants import InvariantViolation, monitor_names
+
+    monitors: tuple = ()
+    run_invariants = True
+    if args.invariants and args.invariants.lower() == "none":
+        run_invariants = False
+    elif args.invariants and args.invariants.lower() != "all":
+        monitors = tuple(_parse_csv(args.invariants))
+        unknown = set(monitors) - set(monitor_names())
+        if unknown:
+            print(
+                f"ERROR: unknown monitor(s) {sorted(unknown)}; known: "
+                + ", ".join(monitor_names()),
+                file=sys.stderr,
+            )
+            return 1
+
+    specs = []
+    if args.spec:
+        try:
+            specs.append(ExperimentSpec.load(args.spec))
+        except (OSError, SpecError) as exc:
+            print(f"ERROR: {args.spec}: {exc}", file=sys.stderr)
+            return 1
+    elif not args.fuzz:
+        specs.append(default_validation_spec())
+    specs += [
+        random_spec(index, master_seed=args.fuzz_seed)
+        for index in range(args.fuzz)
+    ]
+
+    failures = 0
+    for spec in specs:
+        print(f"== {spec.name}: {spec.total_runs} run(s), "
+              f"protocols {', '.join(spec.protocols)}")
+        if run_invariants:
+            try:
+                run_with_invariants(
+                    spec, monitors=monitors,
+                    check_interval_s=args.check_interval,
+                )
+                print("   invariants: ok")
+            except InvariantViolation as violation:
+                failures += 1
+                print("   invariants: VIOLATION")
+                print(violation.report())
+                replay_path = f"replay-{spec.name}.json"
+                write_replay_spec(violation, replay_path)
+                print(f"   replay spec written to {replay_path}")
+                continue
+        if not args.skip_differential:
+            with tempfile.TemporaryDirectory() as work_dir:
+                errors = differential_check(
+                    spec, jobs=args.jobs, work_dir=work_dir
+                )
+            if errors:
+                failures += 1
+                print("   differential: DIVERGED")
+                for error in errors:
+                    print(f"     {error}")
+            else:
+                print("   differential: ok")
+
+    total = len(specs)
+    print(f"\n{total - failures}/{total} spec(s) clean")
+    return 1 if failures else 0
+
+
 def cmd_protocols(args: argparse.Namespace) -> int:
     rows = [
         (
@@ -433,6 +513,32 @@ def build_parser() -> argparse.ArgumentParser:
                           "into DIR")
     run.add_argument("--report", metavar="PATH", default=None,
                      help="also write the markdown report to PATH")
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="run invariant monitors + differential fuzzing over specs",
+    )
+    validate.set_defaults(handler=cmd_validate)
+    validate.add_argument("--spec", metavar="PATH", default=None,
+                          help="validate this spec file (.toml or .json); "
+                               "omitted = a built-in paper-protocol "
+                               "mini-sweep (unless --fuzz is given)")
+    validate.add_argument("--fuzz", type=int, default=0, metavar="N",
+                          help="also validate N randomly generated specs "
+                               "(deterministic per --fuzz-seed)")
+    validate.add_argument("--fuzz-seed", type=int, default=0,
+                          help="master seed for the fuzz-case generator")
+    validate.add_argument("--jobs", type=int, default=2,
+                          help="pool size for the differential jobs=N pass")
+    validate.add_argument("--invariants", metavar="A,B,... | all | none",
+                          default="all",
+                          help="invariant monitors to attach ('all' = every "
+                               "registered monitor, 'none' = skip the "
+                               "monitored pass)")
+    validate.add_argument("--check-interval", type=float, default=1.0,
+                          help="simulated seconds between invariant sweeps")
+    validate.add_argument("--skip-differential", action="store_true",
+                          help="only run the invariant-monitored pass")
 
     protocols_cmd = subparsers.add_parser(
         "protocols", help="list the registered router x metric combinations"

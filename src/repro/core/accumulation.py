@@ -63,3 +63,18 @@ def path_cost(metric: RouteMetric, link_costs: Sequence[float]) -> float:
     for link_cost in link_costs:
         cost = metric.combine(cost, link_cost)
     return cost
+
+
+def compose(metric: RouteMetric, link_costs: Sequence[float]) -> float:
+    """Whole-path cost from per-link costs via the metric's declared algebra.
+
+    Unlike :func:`path_cost` this never calls ``metric.combine``: it
+    dispatches on :attr:`RouteMetric.composition` to the independent
+    helpers above.  The metric-accumulation invariant monitor and the
+    property tests use it as the reference a ``combine`` chain must match.
+    """
+    if metric.composition == "multiplicative":
+        return multiplicative(link_costs)
+    if metric.composition == "recursive":
+        return recursive_metx(link_costs)
+    return additive(link_costs)

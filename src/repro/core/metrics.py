@@ -64,6 +64,13 @@ class RouteMetric(ABC):
     name: str = ""
     #: True when larger path costs are better (only SPP).
     higher_is_better: bool = False
+    #: How ``combine`` composes per-link costs along a path: "additive"
+    #: (sum), "multiplicative" (product), or "recursive" (the METX
+    #: recursion ``C' = (C + 1) / df``).  Declared so independent code
+    #: (property tests, the metric-accumulation invariant monitor) can
+    #: recompute a whole-path cost from the per-link costs without
+    #: trusting ``combine`` itself.
+    composition: str = "additive"
 
     @abstractmethod
     def initial_cost(self) -> float:
@@ -216,6 +223,7 @@ class MetxMetric(RouteMetric):
     """
 
     name = "metx"
+    composition = "recursive"
 
     def initial_cost(self) -> float:
         return 0.0
@@ -246,6 +254,7 @@ class SppMetric(RouteMetric):
 
     name = "spp"
     higher_is_better = True
+    composition = "multiplicative"
 
     def initial_cost(self) -> float:
         return 1.0

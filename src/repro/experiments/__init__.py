@@ -11,7 +11,12 @@
   figure (the benchmark suite calls these).
 """
 
-from repro.experiments.faults import FailureInjector, OutageWindow
+from repro.experiments.faults import (
+    FailureInjector,
+    FaultPlan,
+    FlappingSpec,
+    OutageWindow,
+)
 from repro.experiments.report import render_report
 from repro.experiments.results import (
     AggregateResult,
@@ -53,5 +58,7 @@ __all__ = [
     "normalized_metric_table",
     "render_report",
     "FailureInjector",
+    "FaultPlan",
+    "FlappingSpec",
     "OutageWindow",
 ]

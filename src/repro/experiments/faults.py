@@ -5,12 +5,22 @@ implementation must survive router crashes: the soft-state design
 (periodic JOIN QUERY refresh + forwarding-group timeout) is exactly what
 repairs routes after an outage.  The test suite uses this module to
 verify that property; it is also available for user experiments.
+
+Two layers live here:
+
+* :class:`FailureInjector` -- the imperative scheduler that turns planned
+  windows into ``set_active`` events on a live simulator.
+* :class:`FaultPlan` (with :class:`OutageWindow` / :class:`FlappingSpec`)
+  -- a declarative, serializable fault schedule that rides inside a
+  :class:`~repro.experiments.scenarios.SimulationScenarioConfig`, so
+  experiment specs (and the differential fuzzer) can sweep over faulty
+  scenarios without writing scheduling code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.net.node import Node
 from repro.sim.engine import Simulator
@@ -25,9 +35,82 @@ class OutageWindow:
     end_s: float
 
     def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node id must be >= 0, got {self.node_id}")
+        if self.start_s < 0.0:
+            raise ValueError(f"outage cannot start before t=0 ({self.start_s})")
         if self.end_s <= self.start_s:
             raise ValueError(
                 f"outage must end after it starts ({self.start_s} .. {self.end_s})"
+            )
+
+
+@dataclass
+class FlappingSpec:
+    """Declarative repeated outages: down for a fraction of every period."""
+
+    node_id: int
+    start_s: float
+    period_s: float
+    down_fraction: float
+    until_s: float
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node id must be >= 0, got {self.node_id}")
+        if not 0.0 < self.down_fraction < 1.0:
+            raise ValueError("down fraction must be in (0, 1)")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.until_s <= self.start_s:
+            raise ValueError(
+                f"flapping must end after it starts "
+                f"({self.start_s} .. {self.until_s})"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A serializable fault schedule for one scenario.
+
+    Carried by ``SimulationScenarioConfig.faults``; an empty plan (the
+    default) schedules nothing and leaves the run's event stream
+    bit-identical to a configuration without the field.
+    """
+
+    outages: Tuple[OutageWindow, ...] = ()
+    flapping: Tuple[FlappingSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.outages = tuple(self.outages)
+        self.flapping = tuple(self.flapping)
+
+    def is_empty(self) -> bool:
+        return not self.outages and not self.flapping
+
+    def validate_for(self, num_nodes: int) -> "FaultPlan":
+        """Check every referenced node exists; returns self for chaining."""
+        for spec in (*self.outages, *self.flapping):
+            if spec.node_id >= num_nodes:
+                raise ValueError(
+                    f"fault plan references node {spec.node_id} but the "
+                    f"scenario has only {num_nodes} nodes"
+                )
+        return self
+
+    def apply(self, injector: "FailureInjector", nodes: Dict[int, Node]) -> None:
+        """Schedule every planned fault on the injector's simulator."""
+        for outage in self.outages:
+            injector.schedule_outage(
+                nodes[outage.node_id], outage.start_s, outage.end_s
+            )
+        for flap in self.flapping:
+            injector.schedule_flapping(
+                nodes[flap.node_id],
+                flap.start_s,
+                flap.period_s,
+                flap.down_fraction,
+                flap.until_s,
             )
 
 
@@ -72,7 +155,26 @@ class FailureInjector:
         return count
 
     def total_downtime_s(self, node_id: int) -> float:
-        """Scheduled downtime for one node (diagnostics)."""
-        return sum(
-            w.end_s - w.start_s for w in self.windows if w.node_id == node_id
+        """Scheduled downtime for one node (diagnostics).
+
+        Overlapping windows are merged before summing: a node that is
+        already down cannot go "more down" (``Node.set_active`` is
+        idempotent), so the union of the windows -- not their naive sum,
+        which double-counts overlaps -- is the planned-downtime quantity.
+        """
+        intervals = sorted(
+            (w.start_s, w.end_s) for w in self.windows if w.node_id == node_id
         )
+        total = 0.0
+        current_start: float | None = None
+        current_end = 0.0
+        for start, end in intervals:
+            if current_start is None or start > current_end:
+                if current_start is not None:
+                    total += current_end - current_start
+                current_start, current_end = start, end
+            elif end > current_end:
+                current_end = end
+        if current_start is not None:
+            total += current_end - current_start
+        return total

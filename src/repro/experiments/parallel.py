@@ -53,7 +53,9 @@ from repro.telemetry.manifest import canonicalize
 #: v3: protocol names resolve through the protocol registry (router x
 #: metric specs; MAODV/WCETT entries joined the namespace) and probing
 #: configs gained WCETT pair sizes.
-CACHE_SCHEMA_VERSION = 3
+#: v4: scenario configs gained `faults` (declarative outage/flapping
+#: plans) and `validation` (invariant monitors) sections.
+CACHE_SCHEMA_VERSION = 4
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "runs")

@@ -20,21 +20,28 @@ normalized comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import RouteMetric
+from repro.experiments.faults import FailureInjector, FaultPlan
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Position, random_topology
 from repro.odmrp.config import OdmrpConfig
 from repro.odmrp.protocol import OdmrpRouter
 from repro.probing.manager import ProbingConfig, ProbingManager
 from repro.protocols import ProtocolSpec, paper_protocol_names, protocol_by_name
+from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.telemetry.hub import TelemetryConfig, TelemetryHub
 from repro.telemetry.probes import finalize_scenario, install_scenario_probes
 from repro.traffic.cbr import CbrSource
 from repro.traffic.groups import GroupScenario, build_group_scenario
 from repro.traffic.sink import MulticastSink
+from repro.validation.invariants import (
+    InvariantSuite,
+    ValidationConfig,
+    build_suite,
+)
 
 #: The paper's six simulation variants ("odmrp" is the original protocol;
 #: the rest are ODMRP_<METRIC>).  Derived from the registry -- kept as a
@@ -67,6 +74,13 @@ class SimulationScenarioConfig:
     #: built and the run executes the exact pre-telemetry instruction
     #: stream (see :mod:`repro.telemetry`).
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    #: Declarative fault schedule (radio outages / flapping).  The empty
+    #: default schedules nothing and leaves the event stream untouched.
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: Runtime invariant monitors (see :mod:`repro.validation`).
+    #: Disabled by default: no suite is built and the run executes the
+    #: exact pre-validation instruction stream.
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
 
     def with_probing_rate(self, multiplier: float) -> "SimulationScenarioConfig":
         """A copy with the probing rate scaled (overhead experiments)."""
@@ -93,21 +107,45 @@ class SimulationScenario:
     #: The registry spec this scenario was built from (None only for
     #: hand-assembled scenarios that bypass the registry).
     spec: Optional[ProtocolSpec] = None
+    #: The run's invariant-monitor suite, or None when validation is
+    #: disabled.
+    validation: Optional[InvariantSuite] = None
+    #: The injector that scheduled ``config.faults``, or None when the
+    #: plan is empty.
+    failure_injector: Optional[FailureInjector] = None
 
     def run(self) -> None:
         """Run the full configured duration.
 
-        With telemetry enabled the simulation advances in
-        sample-interval chunks so the hub can observe the engine's
-        batched counters flushed; chunking a half-open ``run(until=...)``
-        loop does not reorder events, so both paths execute the same
-        instruction stream.
+        With telemetry and/or validation enabled the simulation advances
+        in interval-sized chunks so the observers can watch the engine's
+        batched counters flushed between events; chunking a half-open
+        ``run(until=...)`` loop does not reorder events, so every path
+        executes the same instruction stream.
         """
-        if self.telemetry is None:
-            self.network.run(self.config.duration_s)
-            return
-        self.telemetry.drive(self.network.sim, self.config.duration_s)
-        finalize_scenario(self.telemetry, self)
+        sim = self.network.sim
+        until = self.config.duration_s
+        observers: List[Tuple[float, Callable[[], None]]] = []
+        if self.telemetry is not None:
+            hub = self.telemetry
+            observers.append(
+                (
+                    self.config.telemetry.sample_interval_s,
+                    lambda: hub.sample(sim.now),
+                )
+            )
+        if self.validation is not None:
+            observers.append(
+                (self.config.validation.check_interval_s, self.validation.check)
+            )
+        if not observers:
+            self.network.run(until)
+        else:
+            drive_with_observers(sim, until, observers)
+        if self.telemetry is not None:
+            finalize_scenario(self.telemetry, self)
+        if self.validation is not None:
+            self.validation.final_check()
 
     def offered_packets(self) -> int:
         return sum(source.packets_sent for source in self.sources)
@@ -121,6 +159,34 @@ class SimulationScenario:
             )
             total += source.packets_sent * members
         return total
+
+
+def drive_with_observers(
+    sim: Simulator,
+    until: float,
+    observers: Sequence[Tuple[float, Callable[[], None]]],
+) -> None:
+    """Advance ``sim`` to ``until``, firing each observer on its interval.
+
+    Generalizes :meth:`TelemetryHub.drive` to several observers: the run
+    is chunked at the union of the observers' interval boundaries
+    (strictly inside ``(now, until)``; closing observations belong to the
+    callers' finalizers).  Chunking a half-open ``run(until=...)`` loop
+    never reorders events, and with a single observer this executes the
+    exact boundary sequence ``TelemetryHub.drive`` would, so enabling a
+    second observer cannot perturb the first.
+    """
+    boundaries = [sim.now + interval for interval, _callback in observers]
+    while True:
+        next_boundary = min(boundaries)
+        if not next_boundary < until:
+            break
+        sim.run(until=next_boundary)
+        for index, (interval, callback) in enumerate(observers):
+            if boundaries[index] == next_boundary:
+                callback()
+                boundaries[index] += interval
+    sim.run(until=until)
 
 
 def build_simulation_scenario(
@@ -201,6 +267,13 @@ def build_simulation_scenario(
         source.start(at=config.warmup_s, stop_at=config.duration_s)
         sources.append(source)
 
+    failure_injector: Optional[FailureInjector] = None
+    if not config.faults.is_empty():
+        config.faults.validate_for(config.num_nodes)
+        failure_injector = FailureInjector(network.sim)
+        node_map = {node.node_id: node for node in network.nodes}
+        config.faults.apply(failure_injector, node_map)
+
     scenario = SimulationScenario(
         config=config,
         protocol_name=spec.name,
@@ -213,8 +286,11 @@ def build_simulation_scenario(
         groups=groups,
         positions=positions,
         spec=spec,
+        failure_injector=failure_injector,
     )
     if config.telemetry.enabled:
         scenario.telemetry = TelemetryHub(config.telemetry)
         install_scenario_probes(scenario.telemetry, scenario)
+    if config.validation.enabled:
+        scenario.validation = build_suite(config.validation, scenario)
     return scenario

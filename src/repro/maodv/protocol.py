@@ -104,6 +104,18 @@ class MaodvRouter(OdmrpRouter):
     def is_forwarder_for_source(self, group_id: int, source_id: int) -> bool:
         return self._on_tree(group_id, source_id)
 
+    def would_forward_data(self, group_id: int, source_id: int) -> bool:
+        """MAODV forwards only on the live tree of the packet's source."""
+        return self._on_tree(group_id, source_id)
+
+    def tree_expiries(self) -> Dict[Tuple[int, int], Tuple[int, float]]:
+        """(group, source) -> (tree sequence, expiry time); a copy.
+
+        Validation hook: tree lifetimes must never exceed
+        ``1.5 * refresh_interval_s`` from the moment they were granted.
+        """
+        return dict(self._tree)
+
     def active_tree_count(self) -> int:
         """How many (group, source) trees this node currently forwards for.
 

@@ -80,6 +80,10 @@ class WirelessChannel:
         self._finalized = False
         self._connectivity_cache: Optional[Dict[int, List[int]]] = None
         self._tx_counter_names: Dict[Any, str] = {}
+        #: Transmissions currently on the air (begin minus end).  O(1)
+        #: bookkeeping so the conservation monitor can assert that power
+        #: ledgers and pending receptions drain exactly when this is 0.
+        self.transmissions_in_flight = 0
         #: True when the faded power is provably the mean power: NoFading
         #: draws gain 1.0 for every packet and no subclass has replaced
         #: ``_sampled_power``, so the sample (and its virtual dispatch)
@@ -183,6 +187,7 @@ class WirelessChannel:
             counter_name = f"channel.tx.{kind.value}"
             self._tx_counter_names[kind] = counter_name
         self.counters.add(counter_name)
+        self.transmissions_in_flight += 1
         sender.phy_begin_own_tx()
         deterministic = self._deterministic_power
         touched_append = tx.touched.append
@@ -217,6 +222,7 @@ class WirelessChannel:
         return mean_mw * gain
 
     def _end_transmission(self, tx: Transmission) -> None:
+        self.transmissions_in_flight -= 1
         tx.sender.phy_end_own_tx()
         for receiver in tx.touched:
             receiver.phy_remove_power(tx)

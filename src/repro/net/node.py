@@ -71,6 +71,34 @@ class Node:
             )
         self._handlers[kind] = handler
 
+    def wrap_handler(
+        self,
+        kind: PacketKind,
+        wrap: Callable[[PacketHandler], PacketHandler],
+    ) -> None:
+        """Replace the handler for ``kind`` with ``wrap(current_handler)``.
+
+        Observability hook: the validation monitors use this to observe
+        every delivered packet of a kind without the node or router
+        knowing they are being watched.  The wrapper must call through to
+        the original handler to preserve behaviour.
+        """
+        handler = self._handlers.get(kind)
+        if handler is None:
+            raise ValueError(
+                f"node {self.node_id} has no handler for {kind} to wrap"
+            )
+        self._handlers[kind] = wrap(handler)
+
+    def power_ledger(self) -> Dict[Any, float]:
+        """Per-transmission audible-power contributions (a copy).
+
+        Conservation audit hook: the entries must always sum to
+        ``current_power_mw`` (within float drift) and must drain to
+        nothing once the channel reports no transmission in flight.
+        """
+        return dict(self._power_contributions)
+
     def send_broadcast(
         self, packet: Packet, on_done: Optional[Callable[[bool], Any]] = None
     ) -> bool:

@@ -401,3 +401,29 @@ class OdmrpRouter:
 
     def is_forwarder(self, group_id: int) -> bool:
         return self.forwarding_groups.is_active(group_id, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Validation hooks (read-only; used by repro.validation monitors)
+
+    def seen_data(self, group_id: int, source_id: int, sequence: int) -> bool:
+        """Whether this node has already accepted the identified packet."""
+        return (group_id, source_id, sequence) in self._data_cache
+
+    def would_forward_data(self, group_id: int, source_id: int) -> bool:
+        """The forwarding decision `_on_data` would take right now.
+
+        ODMRP forwards for any active forwarding group of the packet's
+        group; the source id is ignored (mesh, not tree).  MAODV
+        overrides this with its per-(group, source) tree membership.
+        """
+        return self.forwarding_groups.is_active(group_id, self.sim.now)
+
+    def round_upstreams(self) -> Dict[Tuple[int, int, int], int]:
+        """(group, source, sequence) -> current best upstream node id."""
+        return {
+            key: state.best_upstream for key, state in self._rounds.items()
+        }
+
+    def fg_expiries(self) -> Dict[int, float]:
+        """group -> forwarding-group expiry time (all groups ever seen)."""
+        return self.forwarding_groups.expiries()

@@ -113,3 +113,7 @@ class ForwardingGroupState:
 
     def expiry_of(self, group_id: int) -> Optional[float]:
         return self._expiry.get(group_id)
+
+    def expiries(self) -> Dict[int, float]:
+        """group -> expiry time for every group ever refreshed (a copy)."""
+        return dict(self._expiry)

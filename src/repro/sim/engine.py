@@ -183,3 +183,13 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of non-cancelled events still queued (O(n); for tests)."""
         return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no live (non-cancelled) event remains queued.
+
+        A quiescent simulator cannot advance further; the invariant
+        monitors use this to decide when drain conditions (empty channel
+        ledgers, no pending receptions) must hold exactly.
+        """
+        return self.peek_time() is None

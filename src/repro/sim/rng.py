@@ -50,3 +50,11 @@ class RngRegistry:
     def stream_names(self) -> list[str]:
         """Names of the streams created so far (for diagnostics)."""
         return sorted(self._streams)
+
+    def stream_objects(self) -> Dict[str, random.Random]:
+        """Name -> stream mapping (a copy; for isolation audits).
+
+        The invariant monitors use object identity over this mapping to
+        prove no RNG stream is shared across concurrently live runs.
+        """
+        return dict(self._streams)

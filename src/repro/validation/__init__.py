@@ -1,0 +1,31 @@
+"""Runtime invariant monitors and differential scenario fuzzing.
+
+Two halves guard the reproduction's bookkeeping:
+
+* :mod:`repro.validation.invariants` / :mod:`repro.validation.monitors`
+  -- pluggable per-slice checkers hooked into the chunked ``run(until=)``
+  loop (the same zero-cost-when-disabled pattern as telemetry) that
+  assert conservation properties across the PHY/MAC/ODMRP stack while a
+  scenario runs.  Violations raise a structured
+  :class:`~repro.validation.invariants.InvariantViolation` carrying sim
+  time, node, and a replayable (protocol, config, seed) triple.
+* :mod:`repro.validation.fuzzing` -- a generator of random small
+  :class:`~repro.experiments.spec.ExperimentSpec`\\ s plus a differential
+  oracle that runs each spec through the serial, parallel, cached, and
+  telemetry-enabled execution paths and demands bit-identical results.
+
+``fuzzing`` is intentionally *not* imported here: it depends on the
+experiment-spec layer, which itself imports the scenario config that
+carries :class:`ValidationConfig`.  Import it explicitly as
+``repro.validation.fuzzing``.
+"""
+
+from repro.validation.invariants import (  # noqa: F401
+    InvariantMonitor,
+    InvariantSuite,
+    InvariantViolation,
+    ValidationConfig,
+    build_suite,
+    monitor_names,
+    register_monitor,
+)

@@ -1,0 +1,283 @@
+"""Differential scenario fuzzing: random specs, one oracle, many paths.
+
+The determinism contract says a run is fully determined by its
+``(protocol, config, seed)`` triple -- whether it executes inline, in a
+pool worker, replayed from the cache, or with telemetry attached.  This
+module *hunts* for violations of that contract instead of asserting it
+on one hand-picked scenario:
+
+* :func:`random_spec` draws a small random :class:`ExperimentSpec`
+  (topology size, metric/protocol mix, seeds, fault schedules) from a
+  seeded generator, so every fuzz case is itself replayable.
+* :func:`differential_check` runs the spec through the serial path as
+  the oracle, then through jobs=N / cold-cache / warm-cache /
+  telemetry-enabled paths and reports any result that is not
+  bit-identical.
+* :func:`run_with_invariants` replays a spec serially with the runtime
+  invariant monitors attached (:mod:`repro.validation.invariants`).
+* :func:`write_replay_spec` turns a caught
+  :class:`~repro.validation.invariants.InvariantViolation` into a
+  one-run spec file for ``repro validate --spec``.
+
+The CLI subcommand (``repro validate``) and the ``pytest -m fuzz`` tier
+are thin wrappers over these functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.faults import FaultPlan, FlappingSpec, OutageWindow
+from repro.experiments.parallel import execute_runs, sweep_specs
+from repro.experiments.results import RunResult
+from repro.experiments.runner import run_protocol
+from repro.experiments.scenarios import SimulationScenarioConfig
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.rng import derive_seed
+from repro.telemetry.hub import TelemetryConfig
+from repro.validation.invariants import InvariantViolation, ValidationConfig
+
+#: Protocol mix the fuzzer draws from: both router families and every
+#: paper metric, so the differential paths cover metric-specific state.
+FUZZ_PROTOCOLS: Tuple[str, ...] = (
+    "odmrp",
+    "etx",
+    "spp",
+    "metx",
+    "pp",
+    "maodv",
+    "maodv-etx",
+    "maodv-spp",
+)
+
+
+def random_spec(index: int, master_seed: int = 0) -> ExperimentSpec:
+    """Draw fuzz case ``index``: a small, fully replayable sweep spec.
+
+    The generator RNG is derived from ``(master_seed, index)`` alone, so
+    ``repro validate --fuzz N`` enumerates the same cases on every
+    machine and a failing index can be re-drawn in isolation.
+    """
+    rng = random.Random(derive_seed(master_seed, f"fuzz.{index}"))
+    num_nodes = rng.randint(8, 14)
+    duration_s = float(rng.choice((8, 10, 12)))
+    warmup_s = float(rng.randint(2, 3))
+    protocols = tuple(
+        rng.sample(FUZZ_PROTOCOLS, k=rng.randint(1, 2))
+    )
+    seeds = tuple(sorted(rng.sample(range(1, 64), k=rng.randint(1, 2))))
+
+    outages: List[OutageWindow] = []
+    flapping: List[FlappingSpec] = []
+    if rng.random() < 0.5:
+        start = rng.uniform(warmup_s, 0.6 * duration_s)
+        outages.append(
+            OutageWindow(
+                node_id=rng.randrange(num_nodes),
+                start_s=round(start, 3),
+                end_s=round(start + rng.uniform(1.0, 3.0), 3),
+            )
+        )
+    if rng.random() < 0.25:
+        flapping.append(
+            FlappingSpec(
+                node_id=rng.randrange(num_nodes),
+                start_s=warmup_s,
+                period_s=2.0,
+                down_fraction=0.3,
+                until_s=round(0.8 * duration_s, 3),
+            )
+        )
+
+    side = float(rng.randint(450, 650))
+    config = SimulationScenarioConfig(
+        num_nodes=num_nodes,
+        area_width_m=side,
+        area_height_m=side,
+        num_groups=1,
+        members_per_group=rng.randint(2, 3),
+        rate_pps=10.0,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        faults=FaultPlan(outages=tuple(outages), flapping=tuple(flapping)),
+    )
+    return ExperimentSpec(
+        name=f"fuzz-{master_seed}-{index}",
+        description=(
+            f"differential fuzz case {index} (master seed {master_seed})"
+        ),
+        protocols=protocols,
+        seeds=seeds,
+        config=config,
+    )
+
+
+def _first_difference(
+    label: str, baseline: Sequence[RunResult], candidate: Sequence[RunResult]
+) -> Optional[str]:
+    """Describe the first divergence between two result lists, if any."""
+    if len(baseline) != len(candidate):
+        return (
+            f"{label}: produced {len(candidate)} results, "
+            f"expected {len(baseline)}"
+        )
+    for expected, got in zip(baseline, candidate):
+        if expected != got:
+            fields = [
+                f.name
+                for f in dataclasses.fields(expected)
+                if getattr(expected, f.name) != getattr(got, f.name)
+            ]
+            return (
+                f"{label}: run ({expected.protocol}, seed "
+                f"{expected.topology_seed}) diverged in field(s) "
+                f"{fields}: baseline={expected!r} candidate={got!r}"
+            )
+    return None
+
+
+def _strip_telemetry_path(results: Sequence[RunResult]) -> List[RunResult]:
+    return [
+        dataclasses.replace(result, telemetry_path=None) for result in results
+    ]
+
+
+def differential_check(
+    spec: ExperimentSpec,
+    jobs: int = 2,
+    work_dir: Optional[str] = None,
+) -> List[str]:
+    """Run ``spec`` through every execution path; describe divergences.
+
+    The serial in-process sweep is the oracle.  Each alternate path --
+    a process pool, a cold-then-warm cache, and a telemetry-enabled
+    serial pass -- must reproduce the oracle's :class:`RunResult` rows
+    bit-for-bit (the telemetry pass is compared with its artifact path
+    masked, since the path is the one legitimately new field).  Returns
+    an empty list when every path agrees; error strings otherwise.
+    """
+    spec.validate()
+    specs = sweep_specs(spec.config, spec.protocols, spec.seeds)
+    baseline = execute_runs(specs, jobs=1, use_cache=False)
+    errors = [
+        f"baseline: run ({r.protocol}, seed {r.topology_seed}) "
+        f"errored: {r.error.splitlines()[-1]}"
+        for r in baseline
+        if r.error is not None
+    ]
+    if errors:
+        # A crashing scenario is a finding in itself; the differential
+        # passes would only echo the same traceback four more times.
+        return errors
+
+    pooled = execute_runs(specs, jobs=jobs, use_cache=False)
+    divergence = _first_difference(f"jobs={jobs}", baseline, pooled)
+    if divergence:
+        errors.append(divergence)
+
+    if work_dir is not None:
+        cache_dir = os.path.join(work_dir, "fuzz-cache")
+        cold = execute_runs(
+            specs, jobs=1, use_cache=True, cache_dir=cache_dir
+        )
+        divergence = _first_difference("cache-cold", baseline, cold)
+        if divergence:
+            errors.append(divergence)
+        warm = execute_runs(
+            specs, jobs=1, use_cache=True, cache_dir=cache_dir
+        )
+        divergence = _first_difference("cache-warm", baseline, warm)
+        if divergence:
+            errors.append(divergence)
+
+        telemetry_config = dataclasses.replace(
+            spec.config,
+            telemetry=TelemetryConfig(
+                enabled=True,
+                export_dir=os.path.join(work_dir, "fuzz-telemetry"),
+            ),
+        )
+        with_telemetry = [
+            run_protocol(s.protocol, s.seeded_config())
+            for s in sweep_specs(telemetry_config, spec.protocols, spec.seeds)
+        ]
+        divergence = _first_difference(
+            "telemetry",
+            _strip_telemetry_path(baseline),
+            _strip_telemetry_path(with_telemetry),
+        )
+        if divergence:
+            errors.append(divergence)
+
+    return errors
+
+
+def run_with_invariants(
+    spec: ExperimentSpec,
+    monitors: Sequence[str] = (),
+    check_interval_s: float = 1.0,
+) -> List[RunResult]:
+    """Replay every run in ``spec`` with invariant monitors attached.
+
+    Runs serially (monitored runs are about catching bugs, not speed).
+    An :class:`InvariantViolation` propagates to the caller with its
+    replay triple intact.
+    """
+    spec.validate()
+    config = dataclasses.replace(
+        spec.config,
+        validation=ValidationConfig(
+            enabled=True,
+            check_interval_s=check_interval_s,
+            monitors=tuple(monitors),
+        ),
+    )
+    results: List[RunResult] = []
+    for run_spec in sweep_specs(config, spec.protocols, spec.seeds):
+        results.append(run_protocol(run_spec.protocol, run_spec.seeded_config()))
+    return results
+
+
+def write_replay_spec(violation: InvariantViolation, path: str) -> str:
+    """Persist a violation's replay triple as a one-run spec file."""
+    if violation.protocol is None or violation.config is None:
+        raise ValueError(
+            "violation carries no replay triple (was it raised outside "
+            "an InvariantSuite?)"
+        )
+    config = violation.config
+    if violation.seed is not None:
+        config = dataclasses.replace(config, topology_seed=violation.seed)
+    spec = ExperimentSpec(
+        name=f"replay-{violation.invariant}",
+        description=(
+            f"replays: {violation.message} "
+            f"(t={violation.time} node={violation.node_id})"
+        ),
+        protocols=(violation.protocol,),
+        seeds=(violation.seed,) if violation.seed is not None else (1,),
+        config=config,
+    )
+    return spec.save(path)
+
+
+def default_validation_spec() -> ExperimentSpec:
+    """The paper-protocol mini-sweep ``repro validate`` checks by default."""
+    return ExperimentSpec(
+        name="paper-mini",
+        description="paper protocols, small mesh, full monitor suite",
+        protocols=("odmrp", "spp", "metx"),
+        seeds=(1,),
+        config=SimulationScenarioConfig(
+            num_nodes=12,
+            area_width_m=600.0,
+            area_height_m=600.0,
+            num_groups=1,
+            members_per_group=3,
+            duration_s=15.0,
+            warmup_s=5.0,
+        ),
+    )

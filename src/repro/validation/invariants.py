@@ -1,0 +1,226 @@
+"""Invariant-monitor plumbing: config, violations, suite, registry.
+
+A monitor is a small object that watches one conservation property of a
+running scenario.  The :class:`InvariantSuite` owns a scenario's
+monitors and is driven from *outside* the event heap by the chunked
+``run(until=)`` loop in :meth:`SimulationScenario.run` -- exactly the
+telemetry pattern, so enabling monitors never reorders events and
+disabling them (the default) costs nothing.
+
+A failed check raises :class:`InvariantViolation` immediately.  The
+exception is structured: it carries the simulated time, the node under
+suspicion, and the (protocol, config, seed) triple that deterministically
+reproduces the run, so a violation found by the fuzzer is a one-command
+replay rather than a flaky report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.telemetry.manifest import config_digest
+
+#: name -> monitor class; populated by :func:`register_monitor` (the
+#: built-in monitors in :mod:`repro.validation.monitors` self-register).
+MONITOR_TYPES: Dict[str, Type["InvariantMonitor"]] = {}
+
+
+def register_monitor(
+    monitor_type: Type["InvariantMonitor"],
+) -> Type["InvariantMonitor"]:
+    """Register a monitor class under its ``name`` attribute (decorator).
+
+    Mirrors :func:`repro.core.metrics.register_metric`: idempotent for
+    the same class, loud for a name collision.
+    """
+    name = monitor_type.name
+    if not name:
+        raise ValueError(
+            f"{monitor_type.__name__} must set a non-empty `name` attribute"
+        )
+    existing = MONITOR_TYPES.get(name)
+    if existing is not None and existing is not monitor_type:
+        raise ValueError(
+            f"monitor name {name!r} is already taken by {existing.__name__}"
+        )
+    MONITOR_TYPES[name] = monitor_type
+    return monitor_type
+
+
+def monitor_names() -> Tuple[str, ...]:
+    """All registered monitor names (built-ins included), sorted."""
+    _load_builtin_monitors()
+    return tuple(sorted(MONITOR_TYPES))
+
+
+def _load_builtin_monitors() -> None:
+    # Imported lazily so this module stays importable from the scenario
+    # config layer without dragging in the protocol stack.
+    from repro.validation import monitors  # noqa: F401
+
+
+@dataclass
+class ValidationConfig:
+    """Invariant-monitor knobs carried by the scenario config.
+
+    Disabled by default: no suite is built and the run executes the
+    exact pre-validation instruction stream.  ``monitors`` selects a
+    subset by name; empty means every registered monitor.
+    """
+
+    enabled: bool = False
+    check_interval_s: float = 1.0
+    monitors: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.monitors = tuple(self.monitors)
+        if self.check_interval_s <= 0.0:
+            raise ValueError(
+                f"check interval must be positive, got {self.check_interval_s}"
+            )
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant failed; carries everything needed to replay.
+
+    Attributes
+    ----------
+    invariant: the registered name of the failed monitor.
+    message:   what specifically went wrong.
+    time:      simulated seconds at the moment of detection.
+    node_id:   the node the evidence points at, when one exists.
+    protocol / config / seed: the replay triple -- rebuilding the
+        scenario from these reproduces the violation deterministically.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        time: Optional[float] = None,
+        node_id: Optional[int] = None,
+        protocol: Optional[str] = None,
+        seed: Optional[int] = None,
+        config: Optional[Any] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.time = time
+        self.node_id = node_id
+        self.protocol = protocol
+        self.seed = seed
+        self.config = config
+        super().__init__(self.report())
+
+    @property
+    def replay(self) -> Tuple[Optional[str], Optional[Any], Optional[int]]:
+        """The (protocol, config, seed) triple that reproduces the run."""
+        return (self.protocol, self.config, self.seed)
+
+    def report(self) -> str:
+        """Human-readable violation report with the replay coordinates."""
+        where = "t=?" if self.time is None else f"t={self.time:.6f}s"
+        if self.node_id is not None:
+            where += f" node={self.node_id}"
+        lines = [f"[{self.invariant}] {where}: {self.message}"]
+        if self.protocol is not None:
+            digest = (
+                config_digest(self.config)[:12]
+                if self.config is not None
+                else "?"
+            )
+            lines.append(
+                f"  replay: protocol={self.protocol!r} "
+                f"topology_seed={self.seed} config_digest={digest}"
+            )
+            lines.append(
+                "  (write_replay_spec() in repro.validation.fuzzing turns "
+                "this into a `repro validate --spec` file)"
+            )
+        return "\n".join(lines)
+
+
+class InvariantMonitor:
+    """Base class: one conservation property, checked per run slice."""
+
+    #: Registry name ("channel-conservation", ...); set by subclasses.
+    name: str = ""
+
+    def install(self, scenario: Any, suite: "InvariantSuite") -> None:
+        """Attach to a built (not yet run) scenario.
+
+        Subclasses that need to observe packets hook node handlers here
+        via :meth:`repro.net.node.Node.wrap_handler`.
+        """
+        self.scenario = scenario
+        self.suite = suite
+
+    def check(self, now: float) -> None:
+        """Assert the invariant against current state; called per slice."""
+
+    def final_check(self, now: float) -> None:
+        """End-of-run assertion; defaults to one more regular check."""
+        self.check(now)
+
+    def fail(self, message: str, node_id: Optional[int] = None) -> None:
+        """Raise a context-enriched :class:`InvariantViolation`."""
+        self.suite.fail(self.name, message, node_id=node_id)
+
+
+@dataclass
+class InvariantSuite:
+    """The monitors attached to one scenario, plus run bookkeeping."""
+
+    config: ValidationConfig
+    scenario: Any
+    monitors: List[InvariantMonitor] = field(default_factory=list)
+    checks_run: int = 0
+
+    def check(self) -> None:
+        """One per-slice sweep over every monitor."""
+        now = self.scenario.network.sim.now
+        for monitor in self.monitors:
+            monitor.check(now)
+        self.checks_run += 1
+
+    def final_check(self) -> None:
+        """The closing sweep after the run's last event slice."""
+        now = self.scenario.network.sim.now
+        for monitor in self.monitors:
+            monitor.final_check(now)
+        self.checks_run += 1
+
+    def fail(
+        self, invariant: str, message: str, node_id: Optional[int] = None
+    ) -> None:
+        scenario = self.scenario
+        raise InvariantViolation(
+            invariant,
+            message,
+            time=scenario.network.sim.now,
+            node_id=node_id,
+            protocol=scenario.protocol_name,
+            seed=scenario.config.topology_seed,
+            config=scenario.config,
+        )
+
+
+def build_suite(config: ValidationConfig, scenario: Any) -> InvariantSuite:
+    """Instantiate and install the configured monitors on a scenario."""
+    _load_builtin_monitors()
+    names = config.monitors or tuple(sorted(MONITOR_TYPES))
+    monitors: List[InvariantMonitor] = []
+    for name in names:
+        monitor_type = MONITOR_TYPES.get(name)
+        if monitor_type is None:
+            raise ValueError(
+                f"unknown invariant monitor {name!r}; known: "
+                + ", ".join(sorted(MONITOR_TYPES))
+            )
+        monitors.append(monitor_type())
+    suite = InvariantSuite(config=config, scenario=scenario, monitors=monitors)
+    for monitor in monitors:
+        monitor.install(scenario, suite)
+    return suite

@@ -1,10 +1,13 @@
-"""Shared test fixtures and helpers."""
+"""Shared test fixtures, Hypothesis profiles, and network helpers."""
 
 from __future__ import annotations
 
+import os
 from typing import Dict, FrozenSet, Optional, Sequence
 
 import pytest
+from hypothesis import settings
+from hypothesis.database import DirectoryBasedExampleDatabase
 
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Position, chain_topology
@@ -15,6 +18,31 @@ from repro.testbed.linkmodel import (
     TimeVaryingLoss,
     testbed_radio_params,
 )
+
+# ----------------------------------------------------------------------
+# Hypothesis: one shared profile instead of per-test @settings noise.
+#
+# Simulation-backed properties routinely exceed Hypothesis's default
+# per-example deadline (a single example builds and runs a network), so
+# the deadline is off globally.  The example database lives inside the
+# repo's .hypothesis/ (gitignored) so shrunk counterexamples replay
+# across local runs; CI selects the derandomized "ci" profile via
+# HYPOTHESIS_PROFILE for reproducible, bounded jobs.
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+settings.register_profile(
+    "repro",
+    deadline=None,
+    database=DirectoryBasedExampleDatabase(
+        os.path.join(_REPO_ROOT, ".hypothesis", "examples")
+    ),
+)
+settings.register_profile(
+    "ci",
+    parent=settings.get_profile("repro"),
+    derandomize=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture(autouse=True)

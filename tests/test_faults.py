@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.faults import FailureInjector, OutageWindow
+from repro.experiments.faults import (
+    FailureInjector,
+    FaultPlan,
+    FlappingSpec,
+    OutageWindow,
+)
 from repro.net.packet import Packet, PacketKind
 from repro.sim.process import PeriodicTask
 from tests.conftest import link, make_loss_network
@@ -123,6 +128,69 @@ class TestFailureInjector:
             injector.schedule_flapping(network.nodes[0], 0.0, 10.0, 1.5, 20.0)
         with pytest.raises(ValueError):
             injector.schedule_flapping(network.nodes[0], 0.0, 0.0, 0.5, 20.0)
+
+    def test_overlapping_windows_count_downtime_once(self):
+        """Regression: overlapping outages double-counted downtime.
+
+        Two outages of [1, 4] and [3, 6] keep the node down for 5 s, not
+        7 s -- a node that is already down cannot go "more down".  The
+        naive per-window sum reported 7.
+        """
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        injector = FailureInjector(network.sim)
+        injector.schedule_outage(network.nodes[1], 1.0, 4.0)
+        injector.schedule_outage(network.nodes[1], 3.0, 6.0)
+        assert injector.total_downtime_s(1) == pytest.approx(5.0)
+
+    def test_flapping_overlapping_an_outage_counts_once(self):
+        """Flapping windows nested inside a long outage add nothing."""
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        injector = FailureInjector(network.sim)
+        injector.schedule_outage(network.nodes[0], 0.0, 30.0)
+        # Down-phases at [0, 3], [10, 13], [20, 23]: all inside [0, 30].
+        injector.schedule_flapping(
+            network.nodes[0], start_s=0.0, period_s=10.0,
+            down_fraction=0.3, until_s=25.0,
+        )
+        assert injector.total_downtime_s(0) == pytest.approx(30.0)
+        # A window poking past the outage extends it by the overhang only.
+        injector.schedule_outage(network.nodes[0], 28.0, 33.0)
+        assert injector.total_downtime_s(0) == pytest.approx(33.0)
+
+    def test_identical_windows_count_once(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        injector = FailureInjector(network.sim)
+        injector.schedule_outage(network.nodes[1], 2.0, 5.0)
+        injector.schedule_outage(network.nodes[1], 2.0, 5.0)
+        assert injector.total_downtime_s(1) == pytest.approx(3.0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert not FaultPlan(outages=(OutageWindow(0, 1.0, 2.0),)).is_empty()
+
+    def test_validate_for_rejects_unknown_nodes(self):
+        plan = FaultPlan(outages=(OutageWindow(5, 1.0, 2.0),))
+        plan.validate_for(6)
+        with pytest.raises(ValueError):
+            plan.validate_for(5)
+        flap = FaultPlan(flapping=(FlappingSpec(9, 0.0, 10.0, 0.3, 20.0),))
+        with pytest.raises(ValueError):
+            flap.validate_for(9)
+
+    def test_apply_schedules_against_the_injector(self):
+        network = make_loss_network(2, {link(0, 1): 0.0})
+        injector = FailureInjector(network.sim)
+        plan = FaultPlan(
+            outages=(OutageWindow(1, 1.0, 2.0),),
+            flapping=(FlappingSpec(0, 0.0, 10.0, 0.3, 15.0),),
+        )
+        plan.apply(injector, {n.node_id: n for n in network.nodes})
+        assert injector.total_downtime_s(1) == pytest.approx(1.0)
+        assert injector.total_downtime_s(0) == pytest.approx(6.0)
+        network.run(1.5)
+        assert not network.nodes[1].active
 
 
 class TestOdmrpRepair:

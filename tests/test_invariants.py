@@ -34,7 +34,7 @@ def drive_random_traffic(network, num_packets, rng, horizon=20.0):
 
 class TestChannelConservation:
     @given(seed=st.integers(min_value=0, max_value=200))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_power_and_receptions_drain_after_quiescence(self, seed):
         """After all transmissions end, every node's interference ledger
         and pending-reception table must be empty."""
@@ -60,7 +60,7 @@ class TestChannelConservation:
             assert not node.medium_busy
 
     @given(seed=st.integers(min_value=0, max_value=100))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_receptions_never_exceed_transmissions(self, seed):
         rng = random.Random(seed)
         network = make_loss_network(

@@ -1,0 +1,242 @@
+"""Property tests for the metric algebras (Section 2).
+
+Each metric declares how it composes along a path
+(:attr:`RouteMetric.composition`); these tests pin the algebraic laws
+that declaration promises -- against randomly drawn link qualities, not
+hand-picked examples.  The metric-accumulation invariant monitor trusts
+exactly these laws when it recomputes JOIN QUERY costs, so this file is
+what makes that trust earned.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.accumulation import (
+    additive,
+    compose,
+    metx_closed_form,
+    multiplicative,
+    path_cost,
+    recursive_metx,
+)
+from repro.core.metrics import (
+    EtxMetric,
+    EttMetric,
+    HopCountMetric,
+    LinkQuality,
+    MetxMetric,
+    PpMetric,
+    SppMetric,
+)
+from repro.probing.packet_pair import PacketPairEstimator
+
+# Delivery ratios bounded away from zero so additive costs stay finite
+# and log-space comparisons are numerically meaningful.
+dfs = st.lists(
+    st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+def quality(df: float) -> LinkQuality:
+    return LinkQuality(forward_delivery_ratio=df)
+
+
+class TestCompositionDeclarations:
+    def test_declared_algebras(self):
+        assert HopCountMetric.composition == "additive"
+        assert EtxMetric.composition == "additive"
+        assert EttMetric.composition == "additive"
+        assert PpMetric.composition == "additive"
+        assert MetxMetric.composition == "recursive"
+        assert SppMetric.composition == "multiplicative"
+
+    @given(ratios=dfs)
+    def test_compose_matches_combine_chain_for_every_metric(self, ratios):
+        """The declared algebra reproduces the combine() fold."""
+        for metric in (
+            HopCountMetric(), EtxMetric(), EttMetric(), MetxMetric(),
+            SppMetric(),
+        ):
+            links = [metric.link_cost(quality(df)) for df in ratios]
+            folded = path_cost(metric, links)
+            recomputed = compose(metric, links)
+            assert math.isclose(folded, recomputed, rel_tol=1e-9), metric
+
+
+class TestSppProperties:
+    @given(ratios=dfs)
+    def test_multiplicativity(self, ratios):
+        """SPP of a path is the product of its per-link ratios."""
+        metric = SppMetric()
+        links = [metric.link_cost(quality(df)) for df in ratios]
+        assert path_cost(metric, links) == pytest.approx(
+            multiplicative(ratios), rel=1e-12
+        )
+
+    @given(prefix=dfs, suffix=dfs)
+    def test_concatenation_is_multiplication(self, prefix, suffix):
+        metric = SppMetric()
+        whole = path_cost(metric, prefix + suffix)
+        split = path_cost(metric, prefix) * path_cost(metric, suffix)
+        assert whole == pytest.approx(split, rel=1e-12)
+
+    @given(a=dfs, b=dfs)
+    def test_order_isomorphic_to_negative_log_sum(self, a, b):
+        """Maximizing SPP == minimizing the additive metric -log(df).
+
+        This is the paper's observation that SPP, despite composing
+        multiplicatively, still admits shortest-path machinery in log
+        space -- the orders are identical.
+        """
+        metric = SppMetric()
+        log_a = math.fsum(-math.log(df) for df in a)
+        log_b = math.fsum(-math.log(df) for df in b)
+        # Near-ties can legitimately round either way across the two
+        # representations; only decided comparisons must agree.
+        assume(abs(log_a - log_b) > 1e-9)
+        spp_a = path_cost(metric, a)
+        spp_b = path_cost(metric, b)
+        assert metric.is_better(spp_a, spp_b) == (log_a < log_b)
+
+    @given(ratios=dfs)
+    def test_one_dead_link_kills_the_path(self, ratios):
+        metric = SppMetric()
+        cost = path_cost(metric, ratios + [0.0])
+        assert cost == 0.0
+        assert not metric.is_usable(cost)
+
+
+class TestMetxProperties:
+    @given(ratios=dfs)
+    def test_recursion_matches_closed_form(self, ratios):
+        """``C' = (C+1)/df`` computes Equation (2) literally."""
+        assert recursive_metx(ratios) == pytest.approx(
+            metx_closed_form(ratios), rel=1e-9
+        )
+
+    @given(ratios=dfs)
+    def test_combine_chain_is_the_recursion(self, ratios):
+        metric = MetxMetric()
+        links = [metric.link_cost(quality(df)) for df in ratios]
+        assert path_cost(metric, links) == recursive_metx(ratios)
+
+    @given(ratios=dfs)
+    def test_at_least_one_transmission_per_hop(self, ratios):
+        """METX >= ETX >= hop count: losses only ever add transmissions."""
+        etx = math.fsum(1.0 / df for df in ratios)
+        metx = recursive_metx(ratios)
+        assert metx >= etx - 1e-9
+        assert metx >= len(ratios)
+
+    @given(ratios=dfs)
+    def test_perfect_links_reduce_to_hop_count(self, ratios):
+        assert recursive_metx([1.0] * len(ratios)) == len(ratios)
+
+
+class TestAdditiveProperties:
+    @given(ratios=dfs)
+    def test_etx_is_summed_inverse_delivery(self, ratios):
+        metric = EtxMetric()
+        links = [metric.link_cost(quality(df)) for df in ratios]
+        assert path_cost(metric, links) == pytest.approx(
+            math.fsum(1.0 / df for df in ratios), rel=1e-9
+        )
+
+    @given(ratios=dfs, permutation_seed=st.integers(0, 2**32 - 1))
+    def test_additive_cost_is_order_independent(self, ratios, permutation_seed):
+        """Summation commutes: link order cannot change an additive cost."""
+        import random
+
+        metric = EtxMetric()
+        links = [metric.link_cost(quality(df)) for df in ratios]
+        shuffled = list(links)
+        random.Random(permutation_seed).shuffle(shuffled)
+        assert additive(shuffled) == pytest.approx(
+            additive(links), rel=1e-9
+        )
+        assert path_cost(metric, shuffled) == pytest.approx(
+            path_cost(metric, links), rel=1e-9
+        )
+
+    @given(ratios=dfs)
+    def test_ett_is_etx_scaled_by_airtime(self, ratios):
+        """With no bandwidth estimates, ETT = ETX * (S*8 / B_default)."""
+        ett = EttMetric(packet_size_bytes=512,
+                        default_bandwidth_bps=2_000_000.0)
+        etx = EtxMetric()
+        airtime = 512 * 8.0 / 2_000_000.0
+        ett_cost = path_cost(
+            ett, [ett.link_cost(quality(df)) for df in ratios]
+        )
+        etx_cost = path_cost(
+            etx, [etx.link_cost(quality(df)) for df in ratios]
+        )
+        assert ett_cost == pytest.approx(etx_cost * airtime, rel=1e-9)
+
+
+# Pair-delay samples: positive, well under the 10 s probing interval.
+delays = st.lists(
+    st.floats(min_value=1e-4, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+def feed_pairs(estimator: PacketPairEstimator, samples, interval_s=10.0):
+    """Deliver one completed (small, large) pair per sample delay."""
+    for index, delay in enumerate(samples):
+        at = index * interval_s
+        estimator.note_small(index + 1, at, interval_s)
+        estimator.note_large(index + 1, at + delay, interval_s, 200)
+
+
+class TestPacketPairProperties:
+    @given(samples=delays)
+    def test_ewma_stays_within_sample_envelope(self, samples):
+        """A loss-free EWMA is a convex combination of its samples."""
+        estimator = PacketPairEstimator()
+        feed_pairs(estimator, samples)
+        assert estimator.penalties_applied == 0
+        assert estimator.ewma_delay_s is not None
+        assert min(samples) - 1e-12 <= estimator.ewma_delay_s
+        assert estimator.ewma_delay_s <= max(samples) + 1e-12
+
+    @given(samples=delays, missed=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50)
+    def test_each_lost_pair_costs_exactly_twenty_percent(
+        self, samples, missed
+    ):
+        """``missed`` wholly lost pairs multiply the EWMA by 1.2^missed."""
+        estimator = PacketPairEstimator()
+        feed_pairs(estimator, samples)
+        before = estimator.ewma_delay_s
+        # A sequence jump of `missed` pairs: penalized on the next probe.
+        next_seq = len(samples) + missed + 1
+        estimator.note_small(next_seq, next_seq * 10.0, 10.0)
+        expected = before
+        for _ in range(missed):
+            expected *= estimator.penalty_factor
+        assert estimator.ewma_delay_s == expected
+        assert estimator.penalties_applied == missed
+
+    @given(samples=delays, silent=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=50)
+    def test_silence_compounds_at_read_time(self, samples, silent):
+        """A quiet neighbor's cost grows 1.2x per missed interval."""
+        interval = 10.0
+        estimator = PacketPairEstimator()
+        feed_pairs(estimator, samples, interval_s=interval)
+        last_heard = (len(samples) - 1) * interval + samples[-1]
+        now = last_heard + 0.5 * interval + silent * interval + 0.1
+        observed = estimator.effective_delay_s(now)
+        assert observed == estimator.ewma_delay_s * (
+            estimator.penalty_factor ** silent
+        )
+        # Reading must not mutate the stored EWMA.
+        assert estimator.effective_delay_s(now) == observed

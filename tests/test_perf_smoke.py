@@ -10,10 +10,55 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.parallel import verify_parallel_consistency
+from repro.experiments.parallel import (
+    execute_runs,
+    sweep_specs,
+    verify_parallel_consistency,
+)
+from repro.experiments.results import aggregate_runs
+from repro.experiments.scenarios import SimulationScenarioConfig
 
 
 @pytest.mark.perfsmoke
 def test_mini_sweep_parallel_matches_serial(tmp_path):
     divergences = verify_parallel_consistency(jobs=2, cache_dir=str(tmp_path))
     assert divergences == [], "\n".join(divergences)
+
+
+@pytest.mark.perfsmoke
+def test_seed_determinism_matrix(tmp_path):
+    """jobs x cache matrix: every cell aggregates to identical rows.
+
+    The serial, no-cache sweep is the oracle; pools of 2 and 4 workers
+    and cold/warm cache replays (themselves at different job counts)
+    must reproduce its aggregates exactly -- not approximately.
+    """
+    config = SimulationScenarioConfig(
+        num_nodes=10,
+        area_width_m=500.0,
+        area_height_m=500.0,
+        num_groups=1,
+        members_per_group=3,
+        duration_s=15.0,
+        warmup_s=5.0,
+    )
+    specs = sweep_specs(config, ("odmrp", "spp"), (1, 2))
+    baseline = aggregate_runs(execute_runs(specs, jobs=1, use_cache=False))
+
+    for jobs in (2, 4):
+        pooled = aggregate_runs(
+            execute_runs(specs, jobs=jobs, use_cache=False)
+        )
+        assert pooled == baseline, f"jobs={jobs} diverged from serial"
+
+    cache_dir = str(tmp_path / "matrix-cache")
+    cold = aggregate_runs(
+        execute_runs(specs, jobs=1, use_cache=True, cache_dir=cache_dir)
+    )
+    assert cold == baseline, "cold cache pass diverged"
+    for jobs in (1, 4):
+        warm = aggregate_runs(
+            execute_runs(specs, jobs=jobs, use_cache=True,
+                         cache_dir=cache_dir)
+        )
+        assert warm == baseline, f"warm cache (jobs={jobs}) diverged"
