@@ -15,13 +15,17 @@ Commands::
     fig5        Figure 5 tree edges, ODMRP vs ODMRP_PP
     run         Execute a declarative experiment spec (TOML/JSON)
     validate    Invariant-monitored runs + differential scenario fuzzing
+    chaos       Fault-injection suite for the resilient sweep executor
     protocols   List the registered router x metric combinations
     telemetry   Inspect exported run telemetry (summarize / diff)
 
 ``repro run --spec examples/paper_spec.toml`` executes a serialized
 :class:`~repro.experiments.spec.ExperimentSpec`; ``--protocols``/
 ``--seeds`` narrow it, ``--dry-run`` prints the resolved plan without
-simulating.  Protocol names everywhere resolve through the registry
+simulating.  ``--run-timeout``/``--max-retries`` put the sweep under
+the resilient supervisor (per-run timeouts, retry with backoff, a
+durable journal); ``--resume`` replays a previously interrupted sweep
+from that journal.  Protocol names everywhere resolve through the registry
 (:mod:`repro.protocols`), so MAODV and WCETT variants sweep through the
 same pipeline as the paper's six.
 
@@ -75,13 +79,17 @@ def _warn_failed_runs(runs) -> bool:
     failed = [run for run in runs if run.error is not None]
     if not failed:
         return True
+    from repro.experiments.resilience import classify_failure
+
     print(
         f"WARNING: {len(failed)} run(s) failed and are excluded "
         "from the averages:"
     )
     for run in failed:
         reason = run.error.strip().splitlines()[-1]
-        print(f"  {run.protocol} seed={run.topology_seed}: {reason}")
+        kind = classify_failure(run.error)
+        tag = f" [{kind.value}]" if kind is not None else ""
+        print(f"  {run.protocol} seed={run.topology_seed}{tag}: {reason}")
     if len(failed) == len(list(runs)):
         print("ERROR: every run failed; nothing to aggregate.")
         return False
@@ -269,6 +277,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         seeds=seeds,
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
+        run_timeout_s=args.run_timeout,
+        max_retries=args.max_retries,
     )
     if getattr(args, "telemetry_dir", None):
         from dataclasses import replace
@@ -291,12 +301,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 0
 
     print()
-    runs = run_experiment(
-        spec,
-        progress=lambda protocol, seed: print(
-            f"  running {protocol} seed={seed} ...", flush=True
-        ),
-    )
+    try:
+        runs = run_experiment(
+            spec,
+            progress=lambda protocol, seed: print(
+                f"  running {protocol} seed={seed} ...", flush=True
+            ),
+            resume=args.resume,
+        )
+    except KeyboardInterrupt as interrupt:
+        # The resilient executor drains and journals before raising, so
+        # tell the user how to pick the sweep back up.
+        detail = str(interrupt)
+        print(f"\ninterrupted: {detail}" if detail else "\ninterrupted",
+              file=sys.stderr)
+        print("re-run the same command with --resume to continue",
+              file=sys.stderr)
+        return 130
     if not _warn_failed_runs(runs):
         return 1
     report = render_report(runs, title=spec.name)
@@ -386,6 +407,21 @@ def cmd_validate(args: argparse.Namespace) -> int:
     total = len(specs)
     print(f"\n{total - failures}/{total} spec(s) clean")
     return 1 if failures else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import run_chaos
+
+    print(
+        "chaos: injecting worker faults (hangs, crashes, OOM kills, "
+        "cache corruption, SIGINT) into supervised sweeps ..."
+    )
+    report = run_chaos(
+        quick=args.quick, jobs=args.jobs,
+        log=print if args.verbose else None,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_protocols(args: argparse.Namespace) -> int:
@@ -513,6 +549,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "into DIR")
     run.add_argument("--report", metavar="PATH", default=None,
                      help="also write the markdown report to PATH")
+    run.add_argument("--run-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-run wall-clock budget; a run exceeding it "
+                          "is killed and retried (enables the resilient "
+                          "supervisor)")
+    run.add_argument("--max-retries", type=int, default=None, metavar="N",
+                     help="retry budget for transient failures -- "
+                          "timeouts, worker crashes, OOM kills (enables "
+                          "the resilient supervisor)")
+    run.add_argument("--resume", action="store_true",
+                     help="replay completed runs from the sweep journal "
+                          "(.repro_cache/runs/journal.jsonl) and execute "
+                          "only the rest")
 
     validate = subparsers.add_parser(
         "validate",
@@ -539,6 +588,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulated seconds between invariant sweeps")
     validate.add_argument("--skip-differential", action="store_true",
                           help="only run the invariant-monitored pass")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="fault-injection suite for the resilient sweep executor",
+    )
+    chaos.set_defaults(handler=cmd_chaos)
+    chaos.add_argument("--quick", action="store_true",
+                       help="smaller scenario and fewer faults (CI smoke)")
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="supervised worker processes per sweep")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="narrate each chaos phase as it runs")
 
     protocols_cmd = subparsers.add_parser(
         "protocols", help="list the registered router x metric combinations"

@@ -9,6 +9,11 @@
   :class:`~repro.experiments.spec.ExperimentSpec` sweeps (TOML/JSON).
 * :mod:`repro.experiments.figures` -- one entry point per paper table or
   figure (the benchmark suite calls these).
+* :mod:`repro.experiments.resilience` -- supervised sweep execution:
+  per-run timeouts, retry with backoff, a failure taxonomy, and a
+  durable journal enabling ``repro run --resume``.
+* :mod:`repro.experiments.chaos` -- fault injection harness asserting
+  the supervisor recovers (``repro chaos`` / ``pytest -m chaos``).
 """
 
 from repro.experiments.faults import (
@@ -18,6 +23,14 @@ from repro.experiments.faults import (
     OutageWindow,
 )
 from repro.experiments.report import render_report
+from repro.experiments.resilience import (
+    FailureKind,
+    ResilienceConfig,
+    RetryPolicy,
+    SweepJournal,
+    classify_failure,
+    execute_runs_resilient,
+)
 from repro.experiments.results import (
     AggregateResult,
     RunResult,
@@ -57,6 +70,12 @@ __all__ = [
     "aggregate_runs",
     "normalized_metric_table",
     "render_report",
+    "FailureKind",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "SweepJournal",
+    "classify_failure",
+    "execute_runs_resilient",
     "FailureInjector",
     "FaultPlan",
     "FlappingSpec",

@@ -40,7 +40,10 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (resilience -> here)
+    from repro.experiments.resilience import FailureKind
 
 from repro.experiments.results import RunResult
 from repro.experiments.scenarios import SimulationScenarioConfig
@@ -94,6 +97,15 @@ class RunOutcome:
     result: RunResult
     elapsed_s: float
     from_cache: bool
+    #: How many times the run was dispatched (>1 only under the
+    #: resilient executor's retry policy).
+    attempts: int = 1
+    #: Taxonomy classification when the run was quarantined by the
+    #: resilient executor; None for successes and plain-executor runs.
+    failure_kind: Optional["FailureKind"] = None
+    #: True when the result was replayed from the sweep journal by a
+    #: ``--resume`` pass instead of being executed or cache-loaded.
+    from_journal: bool = False
 
     @property
     def failed(self) -> bool:
@@ -150,30 +162,99 @@ def _cache_path(cache_dir: str, key: str) -> str:
     return os.path.join(cache_dir, f"{key}.json")
 
 
+def _quarantine_cache_entry(path: str) -> None:
+    """Move a damaged cache file aside (``<path>.corrupt``) or drop it.
+
+    Either way the bad artifact can never be loaded again, and the slot
+    is free for the recomputed result to be stored.
+    """
+    try:
+        os.replace(path, f"{path}.corrupt")
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
 def cache_load(cache_dir: str, spec: RunSpec) -> Optional[RunResult]:
-    """Load a cached result, or None on miss/corruption (treated as miss)."""
+    """Load a cached result, or None on a miss.
+
+    A corrupted or truncated entry (invalid JSON -- the signature of a
+    worker killed mid-write by pre-atomic-store versions -- or a record
+    that no longer matches the RunResult schema) is treated as a miss
+    *and quarantined*: the file is renamed to ``<key>.json.corrupt`` so
+    it can be inspected but never re-read, and the run recomputes.
+    """
     path = _cache_path(cache_dir, spec.cache_key())
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
-    except (OSError, ValueError):
+    except OSError:
+        return None  # plain miss: no entry
+    except ValueError:
+        _quarantine_cache_entry(path)
+        return None
+    if not isinstance(data, dict):
+        _quarantine_cache_entry(path)
         return None
     try:
         return RunResult(**data)
     except TypeError:
-        return None  # schema drift without a version bump: recompute
+        _quarantine_cache_entry(path)
+        return None
 
 
 def cache_store(cache_dir: str, spec: RunSpec, result: RunResult) -> None:
-    """Atomically persist one result (errored runs are never cached)."""
+    """Atomically persist one result (errored runs are never cached).
+
+    The entry is written to a temp file, flushed and fsync'd, then
+    ``os.replace``d into place -- a worker killed at any instant leaves
+    either the old entry, the new entry, or an orphaned temp file
+    (never a half-written entry).  Orphaned temps are swept by
+    :func:`sweep_stale_cache_tmps` at the next resilient sweep start.
+    """
     if result.error is not None:
         return
     os.makedirs(cache_dir, exist_ok=True)
     path = _cache_path(cache_dir, spec.cache_key())
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(dataclasses.asdict(result), handle, sort_keys=True)
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(dataclasses.asdict(result), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def sweep_stale_cache_tmps(cache_dir: str) -> int:
+    """Remove orphaned ``*.json.tmp.<pid>`` files; returns the count.
+
+    Temp files are transient by construction (created, fsync'd, and
+    replaced within one ``cache_store`` call), so anything still on
+    disk belongs to a killed worker.  Callers should only invoke this
+    at sweep start, when no workers are writing to ``cache_dir``.
+    """
+    try:
+        names = os.listdir(cache_dir)
+    except OSError:
+        return 0
+    removed = 0
+    for name in names:
+        if ".json.tmp." not in name:
+            continue
+        try:
+            os.unlink(os.path.join(cache_dir, name))
+            removed += 1
+        except OSError:
+            pass
+    return removed
 
 
 # ----------------------------------------------------------------------
@@ -216,7 +297,8 @@ def execute_runs_detailed(
             if use_cache:
                 cache_store(directory, spec, result)
     elif misses:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(misses)))
+        try:
             futures = {
                 index: pool.submit(_execute_spec, specs[index])
                 for index in misses
@@ -234,8 +316,37 @@ def execute_runs_detailed(
                 outcomes[index] = RunOutcome(spec, result, elapsed, False)
                 if use_cache:
                     cache_store(directory, spec, result)
+        except BaseException:
+            # KeyboardInterrupt (or anything else escaping the collection
+            # loop) must not orphan workers: cancel what never started and
+            # put down what did, then re-raise.
+            _abort_pool(pool)
+            raise
+        else:
+            pool.shutdown(wait=True)
 
     return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _abort_pool(pool: ProcessPoolExecutor) -> None:
+    """Emergency pool teardown: cancel pending futures, kill workers.
+
+    ``shutdown(cancel_futures=True)`` only prevents queued work from
+    starting; in-flight runs would otherwise keep simulating for
+    minutes after a Ctrl-C, so live worker processes are terminated
+    outright (runs are deterministic and restartable, so nothing of
+    value is lost).
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in processes:
+        proc.join(2.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(2.0)
 
 
 def execute_runs(

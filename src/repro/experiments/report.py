@@ -31,17 +31,32 @@ def _ordered(names: Sequence[str]) -> List[str]:
     return known + extra
 
 
-def _baseline_for(names: Sequence[str], preferred: str = "odmrp") -> str:
+def _baseline_for(
+    names: Sequence[str],
+    preferred: str = "odmrp",
+    aggregates: Optional[Mapping[str, "object"]] = None,
+) -> str:
     """The normalization baseline: ``preferred`` when the sweep ran it,
     otherwise the sweep's first protocol in registry order (so a pure
     MAODV sweep normalizes against min-hop "maodv", mirroring the
-    paper's Figure 2 treatment of each protocol family)."""
-    if preferred in names:
-        return preferred
+    paper's Figure 2 treatment of each protocol family).
+
+    When ``aggregates`` is given, a baseline whose runs all failed (or
+    delivered nothing) is skipped in favour of the first protocol with
+    measurable throughput -- a sweep degraded by quarantined runs still
+    renders a report instead of dying on a zero-division."""
     ordered = _ordered(names)
     if not ordered:
         raise ValueError("no protocols to report")
-    return ordered[0]
+    candidates = ([preferred] if preferred in names else []) + ordered
+    if aggregates is not None:
+        for name in candidates:
+            agg = aggregates.get(name)
+            if agg is not None and getattr(agg, "runs", 0) > 0 and (
+                getattr(agg, "mean_throughput_bps", 0.0) > 0
+            ):
+                return name
+    return candidates[0]
 
 
 def markdown_table(
@@ -67,9 +82,12 @@ def throughput_section(
     """Normalized throughput with per-protocol 95 % CIs over topologies."""
     aggregates = aggregate_runs(runs)
     if baseline is None:
-        baseline = _baseline_for(list(aggregates))
-    normalized = normalized_metric_table(aggregates, "throughput", baseline)
+        baseline = _baseline_for(list(aggregates), aggregates=aggregates)
     baseline_mean = aggregates[baseline].mean_throughput_bps
+    normalized = (
+        normalized_metric_table(aggregates, "throughput", baseline)
+        if baseline_mean > 0 else {}
+    )
     rows = []
     for name in _ordered(list(aggregates)):
         protocol_runs = [
@@ -172,9 +190,22 @@ def render_report(
     failed = sum(agg.failed_runs for agg in aggregates.values())
     zero = sum(agg.zero_delivery_runs for agg in aggregates.values())
     if failed or zero:
-        header += (
-            f"\n**Data-quality note:** {failed} run(s) failed (excluded "
-            f"from every mean), {zero} run(s) delivered zero packets.\n"
+        breakdown = []
+        for name in _ordered(list(aggregates)):
+            kinds = aggregates[name].failure_kinds
+            if kinds:
+                detail = ", ".join(
+                    f"{count} {kind}" for kind, count in sorted(kinds.items())
+                )
+                breakdown.append(f"{name}: {detail}")
+        note = (
+            f"\n**Data-quality note:** {failed} run(s) failed and are "
+            "quarantined (excluded from every mean)"
+        )
+        if breakdown:
+            note += " -- " + "; ".join(breakdown)
+        header += note + (
+            f", {zero} run(s) delivered zero packets.\n"
         )
     sections = [
         header,

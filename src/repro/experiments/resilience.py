@@ -1,0 +1,631 @@
+"""Resilient sweep execution: supervision, retries, and a durable journal.
+
+The plain executor (:mod:`repro.experiments.parallel`) assumes every run
+terminates and every worker survives.  At paper scale (hundreds of
+50-node runs, hours of wall time) that assumption fails in practice: a
+pathological topology can hang a run, the kernel OOM-killer can shoot a
+worker, and a Ctrl-C used to throw away everything computed so far.
+This module wraps the same picklable :class:`~repro.experiments.parallel.
+RunSpec` workers in a *supervisor* that makes sweeps survivable:
+
+* **Per-run wall-clock timeouts**, enforced from the parent.  Each run
+  executes in its own child process; a run that exceeds
+  ``ResilienceConfig.run_timeout_s`` is terminated (SIGTERM, then
+  SIGKILL after a grace period) and the slot is re-dispatched -- the
+  pool can never silently hang on one stuck simulation.
+* **A structured failure taxonomy** (:class:`FailureKind`).  Every
+  failure is classified -- ``TIMEOUT``, ``WORKER_CRASH`` (worker died
+  with a signal / nonzero exit before reporting), ``OOM`` (SIGKILL or a
+  ``MemoryError``), ``INVARIANT`` (a validation monitor fired), or
+  ``EXCEPTION`` (any other in-run error) -- and the kind is recorded on
+  the :class:`~repro.experiments.parallel.RunOutcome` and as a
+  ``KIND:`` prefix on ``RunResult.error`` so it survives journaling and
+  aggregation.
+* **Bounded retry with exponential backoff + deterministic jitter**
+  (:class:`RetryPolicy`) for *transient* kinds (``TIMEOUT``,
+  ``WORKER_CRASH``, ``OOM``).  Deterministic model failures
+  (``EXCEPTION``, ``INVARIANT``) are quarantined immediately: the
+  simulation is seed-deterministic, so re-running them can only waste
+  the sweep's time budget.  Because runs are seed-deterministic, a
+  retried run that succeeds produces a bit-identical
+  :class:`~repro.experiments.results.RunResult` -- the chaos harness
+  (:mod:`repro.experiments.chaos`) asserts this.
+* **A durable sweep journal** (:class:`SweepJournal`): append-only JSONL
+  under the cache dir, one fsync'd record per finished (or quarantined)
+  run keyed by ``RunSpec.cache_key()``.  ``repro run --resume`` replays
+  completed runs from the journal and re-dispatches only the failures.
+* **Graceful SIGINT/SIGTERM draining**: the first signal stops
+  dispatching, terminates active children, and leaves the journal
+  consistent (records are written atomically per line), then raises
+  ``KeyboardInterrupt``.  Re-running with ``--resume`` picks up where
+  the sweep left off.
+* **Graceful degradation**: a run whose retry budget is exhausted is
+  *quarantined* -- it comes back as an error-annotated result with its
+  failure kind, and the sweep completes.  Aggregation and reporting
+  (:mod:`repro.experiments.results` / ``report.py``) surface the
+  quarantined runs per protocol instead of aborting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.experiments.parallel import (
+    ProgressCallback,
+    RunOutcome,
+    RunSpec,
+    _error_result,
+    _execute_spec,
+    cache_load,
+    cache_store,
+    resolve_cache_dir,
+    sweep_stale_cache_tmps,
+)
+from repro.experiments.results import RunResult
+
+#: Bump when the journal record shape changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Set in every supervised worker: the run's 0-based attempt number.
+#: Telemetry manifests record it (``extra["attempt"]``) and the chaos
+#: harness keys attempt-gated faults off it.
+ATTEMPT_ENV = "REPRO_RUN_ATTEMPT"
+
+#: A supervised worker: takes a spec, returns ``(result, elapsed_s)``.
+#: Exceptions it raises are converted to error-annotated results by the
+#: child shim, so custom workers (tests, chaos probes) can just raise.
+WorkerFn = Callable[[RunSpec], Tuple[RunResult, float]]
+
+
+class FailureKind(Enum):
+    """Why a run failed.  The taxonomy drives the retry policy."""
+
+    #: Exceeded the per-run wall-clock budget; worker killed by the
+    #: supervisor.  Transient (system load), so retryable.
+    TIMEOUT = "timeout"
+    #: Worker process died (signal or nonzero exit) before reporting a
+    #: result -- segfault, interpreter abort, pool breakage.  Retryable.
+    WORKER_CRASH = "worker_crash"
+    #: Worker was SIGKILLed (the kernel OOM-killer's signature) or the
+    #: run raised ``MemoryError``.  Retryable: memory pressure is a
+    #: property of the host at that moment, not of the spec.
+    OOM = "oom"
+    #: A runtime invariant monitor fired (:mod:`repro.validation`).
+    #: Deterministic -- never retried, always quarantined.
+    INVARIANT = "invariant"
+    #: Any other in-run exception.  Deterministic model failures repeat
+    #: bit-for-bit, so retrying only burns the sweep's time budget.
+    EXCEPTION = "exception"
+
+
+#: Kinds the default policy considers transient.
+TRANSIENT_KINDS = frozenset(
+    {FailureKind.TIMEOUT, FailureKind.WORKER_CRASH, FailureKind.OOM}
+)
+
+
+def classify_failure(error: Optional[str]) -> Optional[FailureKind]:
+    """Map a ``RunResult.error`` string to its :class:`FailureKind`.
+
+    Supervisor-annotated errors carry a ``KIND:`` prefix and classify
+    exactly.  Legacy errors (raw tracebacks from the plain executor) are
+    sniffed: ``MemoryError`` means OOM, ``InvariantViolation`` means a
+    validation monitor fired, a broken-pool message means the worker
+    died, anything else is a plain exception.  ``None`` for a
+    successful run.
+    """
+    if not error:
+        return None
+    head = error.split(":", 1)[0].strip()
+    if head in FailureKind.__members__:
+        return FailureKind[head]
+    if "MemoryError" in error:
+        return FailureKind.OOM
+    if "InvariantViolation" in error:
+        return FailureKind.INVARIANT
+    if "BrokenProcessPool" in error or "process pool" in error:
+        return FailureKind.WORKER_CRASH
+    return FailureKind.EXCEPTION
+
+
+def _prefixed_error(kind: FailureKind, detail: str) -> str:
+    """Annotate an error string with its kind (idempotent)."""
+    head = detail.split(":", 1)[0].strip()
+    if head in FailureKind.__members__:
+        return detail
+    return f"{kind.name}: {detail}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``max_retries`` counts *re*-dispatches: a run is attempted at most
+    ``max_retries + 1`` times.  The backoff for attempt ``n`` (0-based,
+    i.e. before re-dispatch ``n+1``) is
+    ``min(backoff_max_s, backoff_base_s * 2**n)`` stretched by up to
+    ``jitter_fraction``; the jitter is derived from a hash of the run's
+    cache key and attempt number, so a replayed sweep waits the exact
+    same amounts -- no wall-clock randomness leaks into scheduling.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.25
+    backoff_max_s: float = 30.0
+    jitter_fraction: float = 0.25
+    retryable: frozenset = TRANSIENT_KINDS
+
+    def should_retry(self, kind: FailureKind, attempt: int) -> bool:
+        """May attempt ``attempt`` (0-based) be re-dispatched?"""
+        return kind in self.retryable and attempt < self.max_retries
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        base = min(self.backoff_max_s, self.backoff_base_s * (2 ** attempt))
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(2 ** 64)
+        return base * (1.0 + self.jitter_fraction * unit)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Supervision knobs for one resilient sweep."""
+
+    #: Per-run wall-clock budget; ``None`` disables the timeout (runs
+    #: are still isolated in their own process and crash-contained).
+    run_timeout_s: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Seconds between SIGTERM and SIGKILL when putting down a worker.
+    kill_grace_s: float = 1.0
+    #: Supervisor poll cadence; only affects timeout/backoff resolution.
+    poll_interval_s: float = 0.05
+
+
+# ----------------------------------------------------------------------
+# The sweep journal
+
+
+@dataclass
+class JournalRecord:
+    """One journaled run, replayable without re-simulation."""
+
+    key: str
+    protocol: str
+    seed: int
+    status: str  # "ok" | "failed"
+    attempts: int
+    elapsed_s: float
+    failure_kind: Optional[str]
+    result: Dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_run_result(self) -> Optional[RunResult]:
+        """Rebuild the RunResult, or None on schema drift."""
+        try:
+            return RunResult(**self.result)
+        except TypeError:
+            return None
+
+
+class SweepJournal:
+    """Append-only JSONL record of finished runs, keyed by cache key.
+
+    Every record is one line, flushed and fsync'd before the supervisor
+    moves on, so a sweep killed at any instant leaves at worst one
+    truncated *trailing* line -- which :meth:`replay` skips.  Records
+    are append-only; on replay the last record per key wins, so a
+    resumed sweep that re-runs a previously failed run simply appends
+    the new outcome.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    @staticmethod
+    def default_path(cache_dir: Optional[str] = None) -> str:
+        """The journal's home: ``<cache_dir>/journal.jsonl``."""
+        return os.path.join(resolve_cache_dir(cache_dir), "journal.jsonl")
+
+    def record(
+        self,
+        spec: RunSpec,
+        result: RunResult,
+        attempts: int,
+        elapsed_s: float,
+        failure_kind: Optional[FailureKind] = None,
+    ) -> None:
+        record = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "key": spec.cache_key(),
+            "protocol": spec.protocol.lower(),
+            "seed": spec.seed,
+            "status": "ok" if result.error is None else "failed",
+            "attempts": attempts,
+            "elapsed_s": elapsed_s,
+            "failure_kind": (
+                failure_kind.value if failure_kind is not None else None
+            ),
+            "written_unix": time.time(),
+            "result": dataclasses.asdict(result),
+        }
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @classmethod
+    def replay(cls, path: str) -> Dict[str, JournalRecord]:
+        """Read a journal back; last record per key wins.
+
+        A truncated or garbled line (the signature of a sweep killed
+        mid-write) is skipped rather than fatal -- by construction only
+        the final line can be damaged, and its run simply re-executes.
+        """
+        records: Dict[str, JournalRecord] = {}
+        try:
+            handle = open(path, "r", encoding="utf-8")
+        except OSError:
+            return records
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    continue  # torn trailing write: re-run that spec
+                if not isinstance(data, dict):
+                    continue
+                if data.get("schema") != JOURNAL_SCHEMA_VERSION:
+                    continue
+                try:
+                    record = JournalRecord(
+                        key=data["key"],
+                        protocol=data["protocol"],
+                        seed=data["seed"],
+                        status=data["status"],
+                        attempts=data["attempts"],
+                        elapsed_s=data["elapsed_s"],
+                        failure_kind=data.get("failure_kind"),
+                        result=data["result"],
+                    )
+                except KeyError:
+                    continue
+                records[record.key] = record
+        return records
+
+
+# ----------------------------------------------------------------------
+# The supervised worker shim (runs in the child process)
+
+
+def _child_main(
+    conn: Any, spec: RunSpec, attempt: int, worker: WorkerFn
+) -> None:
+    """Child entry: run one spec, send ``(result, elapsed_s)`` back.
+
+    Any exception the worker (or an injected chaos fault) raises is
+    converted to an error-annotated result here; a child that dies
+    before sending anything is classified by the parent from its exit
+    code.
+    """
+    os.environ[ATTEMPT_ENV] = str(attempt)
+    try:
+        import faulthandler
+
+        # A forked child inherits the parent's faulthandler (pytest
+        # enables one); an injected crash would dump the whole parent
+        # test session's stacks. The parent classifies us from the exit
+        # signal, so the dump is pure noise.
+        faulthandler.disable()
+    except Exception:  # noqa: BLE001 - best-effort hygiene only
+        pass
+    try:
+        from repro.experiments.chaos import maybe_inject_fault
+
+        maybe_inject_fault(spec, attempt)
+        payload = worker(spec)
+    except BaseException:  # noqa: BLE001 - annotate anything, incl. chaos
+        payload = (_error_result(spec, traceback.format_exc()), 0.0)
+    try:
+        conn.send(payload)
+    except Exception:  # noqa: BLE001 - parent gone; nothing left to do
+        pass
+    finally:
+        conn.close()
+
+
+def _put_down(proc: Any, grace_s: float) -> None:
+    """Terminate a worker: SIGTERM, wait ``grace_s``, then SIGKILL."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(grace_s)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(5.0)
+
+
+@dataclass
+class _Active:
+    """Bookkeeping for one in-flight supervised worker."""
+
+    proc: Any
+    conn: Any
+    index: int
+    attempt: int
+    started: float
+    deadline: Optional[float]
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+
+
+def execute_runs_resilient(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    worker: WorkerFn = _execute_spec,
+) -> List[RunOutcome]:
+    """Execute run specs under supervision; returns ordered outcomes.
+
+    The resilient counterpart of :func:`~repro.experiments.parallel.
+    execute_runs_detailed`: every run gets its own child process (so a
+    crash or hang is isolated to that run), a wall-clock timeout
+    enforced from the parent, and bounded retry with backoff for
+    transient failures.  Finished runs -- including quarantined
+    failures -- are journaled; with ``resume=True`` previously
+    completed runs replay from the journal and only failures (and
+    never-started specs) are dispatched.
+
+    On SIGINT/SIGTERM the supervisor drains: active children are
+    terminated, the journal stays consistent, and ``KeyboardInterrupt``
+    is raised -- re-invoke with ``resume=True`` to continue.
+
+    ``worker`` exists for the chaos harness and tests: any picklable
+    top-level function with the :data:`WorkerFn` contract can stand in
+    for the real simulation worker.
+    """
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    config = resilience if resilience is not None else ResilienceConfig()
+    directory = resolve_cache_dir(cache_dir)
+    sweep_stale_cache_tmps(directory)
+    path = journal_path or SweepJournal.default_path(directory)
+    replayed = SweepJournal.replay(path) if resume else {}
+
+    keys = [spec.cache_key() for spec in specs]
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    pending: deque = deque()
+    for index, spec in enumerate(specs):
+        record = replayed.get(keys[index])
+        if record is not None and record.ok:
+            result = record.to_run_result()
+            if result is not None:
+                outcomes[index] = RunOutcome(
+                    spec, result, record.elapsed_s, from_cache=False,
+                    attempts=record.attempts, from_journal=True,
+                )
+                continue
+        if use_cache:
+            cached = cache_load(directory, spec)
+            if cached is not None:
+                outcomes[index] = RunOutcome(
+                    spec, cached, 0.0, from_cache=True
+                )
+                continue
+        pending.append((index, 0))
+
+    if not pending:
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    journal = SweepJournal(path)
+    ctx = multiprocessing.get_context()
+    active: List[_Active] = []
+    delayed: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
+    stop: Dict[str, Optional[int]] = {"signal": None}
+
+    def _request_stop(signum: int, frame: Any) -> None:
+        stop["signal"] = signum
+
+    # Signal handlers can only be installed from the main thread; a
+    # supervisor running elsewhere still works, it just drains only on
+    # exceptions.
+    in_main = threading.current_thread() is threading.main_thread()
+    previous_handlers = {}
+    if in_main:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+
+    def _finalize(
+        index: int,
+        result: RunResult,
+        attempts: int,
+        elapsed: float,
+        kind: Optional[FailureKind],
+    ) -> None:
+        spec = specs[index]
+        outcomes[index] = RunOutcome(
+            spec, result, elapsed, from_cache=False,
+            attempts=attempts, failure_kind=kind,
+        )
+        journal.record(spec, result, attempts, elapsed, kind)
+        if use_cache and result.error is None:
+            cache_store(directory, spec, result)
+        if progress is not None:
+            progress(spec.protocol, spec.seed)
+
+    def _fail(
+        index: int, attempt: int, kind: FailureKind, detail: str,
+        elapsed: float,
+    ) -> None:
+        """Retry a transient failure with backoff, else quarantine."""
+        if config.retry.should_retry(kind, attempt):
+            delay = config.retry.backoff_s(keys[index], attempt)
+            heapq.heappush(
+                delayed, (time.monotonic() + delay, index, attempt + 1)
+            )
+            return
+        result = _error_result(specs[index], _prefixed_error(kind, detail))
+        _finalize(index, result, attempt + 1, elapsed, kind)
+
+    def _reap(entry: _Active) -> None:
+        """Handle one worker whose pipe became readable (result or EOF)."""
+        payload = None
+        try:
+            payload = entry.conn.recv()
+        except (EOFError, OSError):
+            payload = None  # died before reporting: classify from exit
+        entry.conn.close()
+        entry.proc.join(5.0)
+        if entry.proc.is_alive():  # pragma: no cover - stuck post-send
+            _put_down(entry.proc, config.kill_grace_s)
+        elapsed = time.monotonic() - entry.started
+        if payload is None:
+            code = entry.proc.exitcode
+            if code == -int(signal.SIGKILL):
+                kind = FailureKind.OOM
+                detail = (
+                    "worker killed by SIGKILL before reporting a result "
+                    "(likely the kernel OOM-killer)"
+                )
+            else:
+                kind = FailureKind.WORKER_CRASH
+                detail = (
+                    f"worker process exited with code {code} before "
+                    "reporting a result"
+                )
+            _fail(entry.index, entry.attempt, kind, detail, elapsed)
+            return
+        result, run_elapsed = payload
+        if result.error is not None:
+            kind = classify_failure(result.error) or FailureKind.EXCEPTION
+            _fail(entry.index, entry.attempt, kind, result.error, run_elapsed)
+            return
+        _finalize(entry.index, result, entry.attempt + 1, run_elapsed, None)
+
+    try:
+        while (pending or delayed or active) and stop["signal"] is None:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index, attempt = heapq.heappop(delayed)
+                pending.append((index, attempt))
+            while pending and len(active) < jobs:
+                index, attempt = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main,
+                    args=(child_conn, specs[index], attempt, worker),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                deadline = (
+                    time.monotonic() + config.run_timeout_s
+                    if config.run_timeout_s is not None else None
+                )
+                active.append(_Active(
+                    proc=proc, conn=parent_conn, index=index,
+                    attempt=attempt, started=time.monotonic(),
+                    deadline=deadline,
+                ))
+            if not active:
+                # Everything is waiting out a backoff: sleep until the
+                # earliest becomes ready (in poll-sized slices so a
+                # signal still drains promptly).
+                if delayed:
+                    time.sleep(min(
+                        config.poll_interval_s,
+                        max(0.0, delayed[0][0] - time.monotonic()),
+                    ))
+                continue
+            ready = multiprocessing.connection.wait(
+                [entry.conn for entry in active],
+                timeout=config.poll_interval_s,
+            )
+            ready_set = set(ready)
+            for entry in list(active):
+                if entry.conn in ready_set:
+                    active.remove(entry)
+                    _reap(entry)
+            now = time.monotonic()
+            for entry in list(active):
+                if entry.deadline is None or now < entry.deadline:
+                    continue
+                if entry.conn.poll():
+                    continue  # result raced the deadline: reap next pass
+                active.remove(entry)
+                _put_down(entry.proc, config.kill_grace_s)
+                entry.conn.close()
+                _fail(
+                    entry.index, entry.attempt, FailureKind.TIMEOUT,
+                    (
+                        f"run exceeded the {config.run_timeout_s:.1f}s "
+                        "wall-clock budget; worker terminated by the "
+                        "supervisor"
+                    ),
+                    now - entry.started,
+                )
+    finally:
+        for entry in active:
+            _put_down(entry.proc, config.kill_grace_s)
+            try:
+                entry.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if in_main:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+        journal.close()
+
+    if stop["signal"] is not None:
+        done = sum(1 for outcome in outcomes if outcome is not None)
+        raise KeyboardInterrupt(
+            f"sweep interrupted by signal {stop['signal']}: {done}/"
+            f"{len(specs)} run(s) journaled to {path}; re-run with "
+            "resume to continue"
+        )
+    return [outcome for outcome in outcomes if outcome is not None]

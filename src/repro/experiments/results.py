@@ -69,6 +69,11 @@ class AggregateResult:
     #: Successful runs that delivered zero packets (still averaged into
     #: throughput/PDR, but excluded from delay and overhead means).
     zero_delivery_runs: int = 0
+    #: Breakdown of ``failed_runs`` by failure taxonomy
+    #: (:class:`~repro.experiments.resilience.FailureKind` value ->
+    #: count), so a report can say *how* a protocol's runs died
+    #: (timeout vs worker crash vs model exception).
+    failure_kinds: Dict[str, int] = field(default_factory=dict)
 
 
 def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
@@ -81,11 +86,19 @@ def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
     means, so downstream tables show the hole rather than dropping the
     row.
     """
+    # Local import: resilience imports this module at load time.
+    from repro.experiments.resilience import classify_failure
+
     by_protocol: Dict[str, List[RunResult]] = {}
     failed: Dict[str, int] = {}
+    kinds: Dict[str, Dict[str, int]] = {}
     for run in runs:
         if run.error is not None:
             failed[run.protocol] = failed.get(run.protocol, 0) + 1
+            kind = classify_failure(run.error)
+            if kind is not None:
+                per_protocol = kinds.setdefault(run.protocol, {})
+                per_protocol[kind.value] = per_protocol.get(kind.value, 0) + 1
             by_protocol.setdefault(run.protocol, [])
             continue
         by_protocol.setdefault(run.protocol, []).append(run)
@@ -100,6 +113,7 @@ def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
                 mean_delay_s=None,
                 mean_probe_overhead_pct=0.0,
                 failed_runs=failed.get(protocol, 0),
+                failure_kinds=kinds.get(protocol, {}),
             )
             continue
         delays = [
@@ -125,6 +139,7 @@ def aggregate_runs(runs: Sequence[RunResult]) -> Dict[str, AggregateResult]:
             zero_delivery_runs=sum(
                 1 for run in protocol_runs if run.delivered_packets == 0
             ),
+            failure_kinds=kinds.get(protocol, {}),
         )
     return aggregates
 

@@ -73,6 +73,14 @@ def export_run_telemetry(
         "samples_taken": hub.samples_taken,
         "offered_packets": scenario.offered_packets(),
     }
+    attempt = os.environ.get("REPRO_RUN_ATTEMPT")  # resilience.ATTEMPT_ENV
+    if attempt is not None:
+        # Retry provenance under the resilient executor: attempt 0 is
+        # the first dispatch, >0 means this artifact came from a retry.
+        try:
+            extra["attempt"] = int(attempt)
+        except ValueError:
+            pass
     if scenario.spec is not None:
         # Provenance for sweep tooling: which registry binding ran.
         extra["protocol_spec"] = scenario.spec.to_record()
@@ -137,6 +145,10 @@ def compare_protocols(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir: Optional[str] = None,
+    run_timeout_s: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    resume: bool = False,
+    journal_path: Optional[str] = None,
 ) -> List[RunResult]:
     """The paper's comparison loop: every protocol on every topology.
 
@@ -151,6 +163,14 @@ def compare_protocols(
     error-annotated :class:`RunResult` (``result.error`` holds the
     traceback) rather than aborting the sweep; ``jobs=1`` runs inline
     with no pool and no pickling requirement on the config.
+
+    Setting any of ``run_timeout_s`` / ``max_retries`` / ``resume`` /
+    ``journal_path`` routes the sweep through the *resilient* executor
+    (:mod:`repro.experiments.resilience`): every run gets its own
+    supervised worker process with a wall-clock timeout, transient
+    failures retry with backoff, finished runs are journaled, and
+    ``resume=True`` replays previously completed runs instead of
+    re-simulating them.  Results stay bit-identical either way.
     """
     if config is None:
         config = SimulationScenarioConfig()
@@ -162,6 +182,30 @@ def compare_protocols(
     from repro.experiments.parallel import execute_runs, sweep_specs
 
     specs = sweep_specs(config, tuple(protocols), tuple(topology_seeds))
+    resilient = (
+        run_timeout_s is not None or max_retries is not None
+        or resume or journal_path is not None
+    )
+    if resilient:
+        from repro.experiments.resilience import (
+            ResilienceConfig,
+            RetryPolicy,
+            execute_runs_resilient,
+        )
+
+        retry = (
+            RetryPolicy() if max_retries is None
+            else RetryPolicy(max_retries=max_retries)
+        )
+        outcomes = execute_runs_resilient(
+            specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+            progress=progress,
+            resilience=ResilienceConfig(
+                run_timeout_s=run_timeout_s, retry=retry,
+            ),
+            journal_path=journal_path, resume=resume,
+        )
+        return [outcome.result for outcome in outcomes]
     return execute_runs(
         specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
         progress=progress,
@@ -172,13 +216,18 @@ def run_experiment(
     spec: "ExperimentSpec",
     progress: Optional[ProgressCallback] = None,
     cache_dir: Optional[str] = None,
+    resume: bool = False,
+    journal_path: Optional[str] = None,
 ) -> List[RunResult]:
     """Execute a declarative :class:`~repro.experiments.spec.ExperimentSpec`.
 
     The spec is validated (every protocol resolved through the registry)
     before any simulation starts; execution then flows through the same
     :func:`compare_protocols` path as programmatic sweeps, so parallel
-    fan-out, the result cache, and telemetry export all apply.
+    fan-out, the result cache, and telemetry export all apply.  Specs
+    that set ``run_timeout_s`` / ``max_retries`` -- or callers passing
+    ``resume=True`` -- execute under the resilient supervisor (see
+    :mod:`repro.experiments.resilience`).
     """
     spec.validate()
     return compare_protocols(
@@ -189,4 +238,8 @@ def run_experiment(
         jobs=spec.jobs,
         use_cache=spec.use_cache,
         cache_dir=cache_dir,
+        run_timeout_s=spec.run_timeout_s,
+        max_retries=spec.max_retries,
+        resume=resume,
+        journal_path=journal_path,
     )

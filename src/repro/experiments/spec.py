@@ -258,6 +258,17 @@ class ExperimentSpec:
     seeds: Tuple[int, ...] = (1,)
     jobs: int = 1
     use_cache: bool = False
+    #: Per-run wall-clock timeout (seconds).  Setting this -- or
+    #: ``max_retries`` -- executes the sweep under the resilient
+    #: supervisor (:mod:`repro.experiments.resilience`): one worker
+    #: process per run, timeout enforcement, retry with backoff, and a
+    #: durable journal that ``repro run --resume`` replays.  ``None``
+    #: (the default) keeps the plain executor.
+    run_timeout_s: Optional[float] = None
+    #: Retry budget for transient failures (timeouts, worker crashes,
+    #: OOM kills).  ``None`` = plain executor unless another resilience
+    #: knob is set, in which case the default policy (2 retries) applies.
+    max_retries: Optional[int] = None
     config: SimulationScenarioConfig = field(
         default_factory=SimulationScenarioConfig
     )
@@ -281,6 +292,19 @@ class ExperimentSpec:
         if any(not isinstance(seed, int) or isinstance(seed, bool)
                for seed in self.seeds):
             raise SpecError(f"seeds must be integers, got {self.seeds!r}")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise SpecError(
+                f"run_timeout_s must be positive, got {self.run_timeout_s!r}"
+            )
+        if self.max_retries is not None and (
+            not isinstance(self.max_retries, int)
+            or isinstance(self.max_retries, bool)
+            or self.max_retries < 0
+        ):
+            raise SpecError(
+                f"max_retries must be a non-negative integer, "
+                f"got {self.max_retries!r}"
+            )
         self.resolve_protocols()
         return self
 
@@ -306,8 +330,21 @@ class ExperimentSpec:
             f"execution: jobs={self.jobs} "
             f"cache={'on' if self.use_cache else 'off'} "
             f"telemetry={'on' if self.config.telemetry.enabled else 'off'}",
-            "protocols:",
         ]
+        if self.run_timeout_s is not None or self.max_retries is not None:
+            timeout = (
+                f"{self.run_timeout_s:g}s" if self.run_timeout_s is not None
+                else "none"
+            )
+            retries = (
+                self.max_retries if self.max_retries is not None
+                else "default"
+            )
+            lines.append(
+                f"resilience: run-timeout={timeout} max-retries={retries} "
+                "(supervised workers, journaled)"
+            )
+        lines.append("protocols:")
         for proto in self.resolve_protocols():
             metric = proto.metric or "min-hop"
             lines.append(
@@ -319,7 +356,7 @@ class ExperimentSpec:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "schema": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
@@ -327,8 +364,15 @@ class ExperimentSpec:
             "seeds": list(self.seeds),
             "jobs": self.jobs,
             "use_cache": self.use_cache,
-            "config": config_to_dict(self.config),
         }
+        # None means "knob not set": omitted on write (TOML has no null),
+        # absent keys take the dataclass default on read.
+        if self.run_timeout_s is not None:
+            data["run_timeout_s"] = self.run_timeout_s
+        if self.max_retries is not None:
+            data["max_retries"] = self.max_retries
+        data["config"] = config_to_dict(self.config)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -342,7 +386,7 @@ class ExperimentSpec:
             )
         known = {
             "schema", "name", "description", "protocols", "seeds",
-            "jobs", "use_cache", "config",
+            "jobs", "use_cache", "run_timeout_s", "max_retries", "config",
         }
         unknown = set(data) - known
         if unknown:
@@ -351,7 +395,8 @@ class ExperimentSpec:
                 + ", ".join(sorted(known))
             )
         kwargs: Dict[str, Any] = {}
-        for key in ("name", "description", "jobs", "use_cache"):
+        for key in ("name", "description", "jobs", "use_cache",
+                    "run_timeout_s", "max_retries"):
             if key in data:
                 kwargs[key] = data[key]
         if "protocols" in data:
@@ -419,6 +464,8 @@ class ExperimentSpec:
         seeds: Optional[Sequence[int]] = None,
         jobs: Optional[int] = None,
         use_cache: Optional[bool] = None,
+        run_timeout_s: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> "ExperimentSpec":
         """A copy with CLI-style overrides applied (None = keep)."""
         return dataclasses.replace(
@@ -428,6 +475,10 @@ class ExperimentSpec:
             seeds=tuple(seeds) if seeds is not None else self.seeds,
             jobs=self.jobs if jobs is None else jobs,
             use_cache=self.use_cache if use_cache is None else use_cache,
+            run_timeout_s=self.run_timeout_s if run_timeout_s is None
+            else run_timeout_s,
+            max_retries=self.max_retries if max_retries is None
+            else max_retries,
         )
 
 

@@ -19,6 +19,7 @@ from repro.experiments.parallel import (
     execute_runs,
     execute_runs_detailed,
     sweep_specs,
+    sweep_stale_cache_tmps,
     verify_parallel_consistency,
 )
 from repro.experiments.results import RunResult, aggregate_runs
@@ -154,14 +155,120 @@ class TestCachePlumbing:
         assert loaded == outcome.result
         assert loaded.counters == outcome.result.counters
 
-    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_cache_entry_is_a_miss_and_quarantined(self, tmp_path):
         spec = RunSpec("spp", TINY, 1)
         path = tmp_path / f"{spec.cache_key()}.json"
         path.write_text("{not json")
         assert cache_load(str(tmp_path), spec) is None
+        # The damaged artifact is moved aside, never silently re-read.
+        assert not path.exists()
+        assert (tmp_path / f"{spec.cache_key()}.json.corrupt").exists()
+
+    def test_truncated_cache_entry_recovers_on_restore(self, tmp_path):
+        """Regression: a truncated artifact (torn write) must behave as
+        a miss, and the slot must accept the recomputed result."""
+        spec = RunSpec("spp", TINY, 1)
+        result = _tiny_result(spec)
+        cache_store(str(tmp_path), spec, result)
+        path = tmp_path / f"{spec.cache_key()}.json"
+        content = path.read_text()
+        path.write_text(content[: len(content) // 2])
+        assert cache_load(str(tmp_path), spec) is None
+        cache_store(str(tmp_path), spec, result)
+        assert cache_load(str(tmp_path), spec) == result
+
+    @pytest.mark.parametrize("payload", [
+        '"a json string, not an object"',
+        '{"schema": 4, "wrong_field": 1}',
+    ])
+    def test_schema_mismatch_is_quarantined(self, tmp_path, payload):
+        spec = RunSpec("spp", TINY, 1)
+        path = tmp_path / f"{spec.cache_key()}.json"
+        path.write_text(payload)
+        assert cache_load(str(tmp_path), spec) is None
+        assert (tmp_path / f"{spec.cache_key()}.json.corrupt").exists()
+
+    def test_cache_store_cleans_temp_file_on_error(self, tmp_path,
+                                                   monkeypatch):
+        import json as json_module
+
+        import repro.experiments.parallel as parallel_module
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(parallel_module.json, "dump", explode)
+        spec = RunSpec("spp", TINY, 1)
+        with pytest.raises(OSError, match="disk full"):
+            cache_store(str(tmp_path), spec, _tiny_result(spec))
+        monkeypatch.setattr(parallel_module.json, "dump",
+                            json_module.dump)
+        assert list(tmp_path.iterdir()) == []  # no orphaned temp
+
+    def test_sweep_stale_cache_tmps(self, tmp_path):
+        spec = RunSpec("spp", TINY, 1)
+        cache_store(str(tmp_path), spec, _tiny_result(spec))
+        entry = tmp_path / f"{spec.cache_key()}.json"
+        orphan = tmp_path / f"{spec.cache_key()}.json.tmp.99999"
+        orphan.write_text("{torn")
+        assert sweep_stale_cache_tmps(str(tmp_path)) == 1
+        assert not orphan.exists()
+        assert entry.exists()  # real entries are untouched
+        assert sweep_stale_cache_tmps(str(tmp_path)) == 0
+        assert sweep_stale_cache_tmps(str(tmp_path / "missing")) == 0
 
     def test_sweep_specs_order_is_seed_major(self):
         specs = sweep_specs(TINY, ("a", "b"), (1, 2))
         assert [(s.seed, s.protocol) for s in specs] == [
             (1, "a"), (1, "b"), (2, "a"), (2, "b"),
         ]
+
+
+def _tiny_result(spec: RunSpec) -> RunResult:
+    return RunResult(
+        protocol=spec.protocol, topology_seed=spec.seed, duration_s=1.0,
+        offered_packets=10, expected_deliveries=10, delivered_packets=9,
+        delivered_bytes=4608, mean_delay_s=0.01, probe_bytes=12.0,
+    )
+
+
+class TestInterruptedPoolShutdown:
+    """Satellite: a KeyboardInterrupt escaping the collection loop must
+    cancel pending futures and put down live workers -- no orphaned
+    simulations grinding on after Ctrl-C."""
+
+    def test_keyboard_interrupt_terminates_pool_workers(
+        self, monkeypatch
+    ):
+        import time
+        from concurrent.futures import ProcessPoolExecutor
+
+        import repro.experiments.parallel as parallel_module
+
+        created = []
+
+        class RecordingPool(ProcessPoolExecutor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", RecordingPool
+        )
+
+        def interrupt_immediately(protocol: str, seed: int) -> None:
+            raise KeyboardInterrupt
+
+        specs = sweep_specs(TINY, ("odmrp",), (1, 2, 3, 4))
+        with pytest.raises(KeyboardInterrupt):
+            execute_runs_detailed(
+                specs, jobs=2, progress=interrupt_immediately
+            )
+        [pool] = created
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and any(
+            proc.is_alive() for proc in procs
+        ):
+            time.sleep(0.05)
+        assert not any(proc.is_alive() for proc in procs)
