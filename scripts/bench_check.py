@@ -1,33 +1,90 @@
-"""Smoke gate for the parallel experiment runner.
+"""Smoke gate for the parallel runner and the vectorized PHY backend.
 
-Runs a few-second mini-sweep serially, with a pool of 2 workers, and
-from the warm disk cache, and fails (exit 1) if any pass produces a
-``RunResult`` that differs from the serial baseline in any field.  This
-is the cheap always-on guard that the parallel subsystem preserves the
-simulator's bit-determinism; ``benchmarks/bench_perf_engine.py`` is the
-timed version.
+Two always-on guards, each failing the script (exit 1) on violation:
 
-The same check runs under pytest as the ``perfsmoke`` marker
-(``pytest -m perfsmoke``); it is deselected from the default tier-1 run
-to keep that fast.
+1. **Parallel consistency** -- a few-second mini-sweep run serially,
+   with a pool of 2 workers, and from the warm disk cache; every pass
+   must produce ``RunResult`` rows bit-identical to the serial
+   baseline.
+2. **Vectorized no-regression** -- the dense-mesh micro benchmark from
+   ``benchmarks/bench_perf_engine.py`` run once per reception backend;
+   the results must be bit-identical and the vectorized wall time must
+   not exceed the scalar wall time by more than a tolerance (10% by
+   default, for timer noise on loaded CI hosts).  This is the gate
+   that the numpy path stays an optimization, not just an alternative.
+
+The consistency check also runs under pytest as the ``perfsmoke``
+marker (``pytest -m perfsmoke``); it is deselected from the default
+tier-1 run to keep that fast.
 
 Usage: PYTHONPATH=src python scripts/bench_check.py [--jobs N]
+       [--skip-phy] [--phy-tolerance FRAC]
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
 import time
 
 from repro.experiments.parallel import verify_parallel_consistency
 
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                    "benchmarks")
+)
+
+
+def check_phy_backends(tolerance: float) -> int:
+    from bench_perf_engine import phy_backend_micro
+
+    start = time.perf_counter()
+    wall_scalar, wall_vectorized, scalar, vectorized = phy_backend_micro()
+    elapsed = time.perf_counter() - start
+
+    if scalar != vectorized:
+        print(
+            f"bench_check: FAIL ({elapsed:.1f}s) -- scalar and vectorized "
+            "backends produced different results",
+            file=sys.stderr,
+        )
+        return 1
+    if scalar.error is not None:
+        print(
+            f"bench_check: FAIL -- micro benchmark errored: {scalar.error}",
+            file=sys.stderr,
+        )
+        return 1
+    budget = wall_scalar * (1.0 + tolerance)
+    if wall_vectorized > budget:
+        print(
+            f"bench_check: FAIL ({elapsed:.1f}s) -- vectorized backend is "
+            f"slower than scalar: {wall_vectorized:.2f}s vs "
+            f"{wall_scalar:.2f}s (budget {budget:.2f}s at "
+            f"{tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = wall_scalar / wall_vectorized if wall_vectorized > 0 else 0.0
+    print(
+        f"bench_check: OK ({elapsed:.1f}s) -- vectorized backend "
+        f"bit-identical and {speedup:.2f}x vs scalar "
+        f"({wall_vectorized:.2f}s vs {wall_scalar:.2f}s)"
+    )
+    return 0
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=2,
                         help="pool size for the parallel pass (default 2)")
+    parser.add_argument("--skip-phy", action="store_true",
+                        help="skip the scalar-vs-vectorized micro gate")
+    parser.add_argument("--phy-tolerance", type=float, default=0.10,
+                        help="allowed vectorized-over-scalar wall overrun "
+                             "(fraction, default 0.10)")
     args = parser.parse_args(argv)
 
     start = time.perf_counter()
@@ -46,6 +103,9 @@ def main(argv=None) -> int:
         f"bench_check: OK ({elapsed:.1f}s) -- serial, jobs={args.jobs}, "
         "and warm-cache sweeps are bit-identical"
     )
+
+    if not args.skip_phy:
+        return check_phy_backends(args.phy_tolerance)
     return 0
 
 

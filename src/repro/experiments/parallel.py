@@ -58,7 +58,8 @@ from repro.telemetry.manifest import canonicalize
 #: configs gained WCETT pair sizes.
 #: v4: scenario configs gained `faults` (declarative outage/flapping
 #: plans) and `validation` (invariant monitors) sections.
-CACHE_SCHEMA_VERSION = 4
+#: v5: network configs gained `phy_backend` (vectorized PHY reception).
+CACHE_SCHEMA_VERSION = 5
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "runs")

@@ -11,6 +11,18 @@ decided by the receiver's SINR rule.
 Subclasses can override :meth:`_sampled_power` to replace the
 pathloss-times-fading model; the testbed emulation uses this to drive the
 same MAC with empirically measured link loss rates.
+
+Two scale paths keep large meshes tractable without changing results:
+
+* ``finalize()`` prunes its audibility scan through a
+  :class:`~repro.net.topology.SpatialGridIndex` when the propagation
+  model can bound its reach analytically, turning the O(N^2) pairing
+  into O(N x cell occupancy).
+* ``begin_transmission`` can evaluate a whole transmission's fading
+  draws and threshold decisions as one numpy batch
+  (:mod:`repro.phy.vectorized`), bit-identical to the per-receiver
+  loop.  The backend is chosen per channel -- never per sender, since
+  mixing would desynchronize the cloned RNG stream from the scalar one.
 """
 
 from __future__ import annotations
@@ -19,12 +31,25 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.net.node import Node
 from repro.net.packet import Packet
+from repro.net.topology import SpatialGridIndex
 from repro.phy.fading import FadingModel, NoFading
 from repro.phy.propagation import PropagationModel, TwoRayGroundPropagation
 from repro.phy.reception import Reception
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 from repro.sim.trace import CounterSet
+
+#: Node count from which ``finalize()`` routes its audibility scan
+#: through the spatial grid index (below it the brute scan is cheaper).
+GRID_MIN_NODES = 64
+
+#: Node count from which ``phy_backend="auto"`` picks the vectorized
+#: reception path.  Small meshes have so few audible receivers per
+#: transmission that numpy's per-call overhead eats the win; they stay
+#: on the scalar loop (results are bit-identical either way).
+VECTOR_MIN_NODES = 64
+
+PHY_BACKENDS = ("auto", "scalar", "vectorized")
 
 
 class Transmission:
@@ -56,6 +81,24 @@ class ChannelError(RuntimeError):
     """Raised on physically impossible requests (double transmission)."""
 
 
+class _VectorEntry:
+    """Per-sender arrays for the batched reception path.
+
+    Mirrors one ``_audible`` list as parallel numpy arrays (mean powers,
+    decode thresholds) plus the sampler's per-link fading state, all in
+    audible-list order so batch element ``k`` is receiver ``k``.
+    """
+
+    __slots__ = ("receivers", "receiver_ids", "mean_mw", "rx_thr", "slot")
+
+    def __init__(self, receivers, receiver_ids, mean_mw, rx_thr, slot):
+        self.receivers = receivers
+        self.receiver_ids = receiver_ids
+        self.mean_mw = mean_mw
+        self.rx_thr = rx_thr
+        self.slot = slot
+
+
 class WirelessChannel:
     """Shared medium connecting a set of static nodes."""
 
@@ -65,11 +108,21 @@ class WirelessChannel:
         propagation: Optional[PropagationModel] = None,
         fading: Optional[FadingModel] = None,
         audible_margin_db: float = 10.0,
+        phy_backend: str = "auto",
     ) -> None:
+        if phy_backend not in PHY_BACKENDS:
+            raise ChannelError(
+                f"unknown phy_backend {phy_backend!r}; "
+                f"expected one of {PHY_BACKENDS}"
+            )
         self.sim = sim
         self.propagation = propagation or TwoRayGroundPropagation()
         self.fading = fading or NoFading()
         self.audible_margin_linear = 10.0 ** (audible_margin_db / 10.0)
+        #: Requested reception backend ("auto" resolves at finalize).
+        self.phy_backend = phy_backend
+        #: What finalize() actually picked: "scalar" or "vectorized".
+        self.phy_backend_resolved: Optional[str] = None
         self.nodes: List[Node] = []
         self.counters = CounterSet()
         #: sender id -> [(receiver, mean power, rx threshold)], with the
@@ -89,6 +142,19 @@ class WirelessChannel:
         #: ``_sampled_power``, so the sample (and its virtual dispatch)
         #: can be skipped entirely in ``begin_transmission``.
         self._deterministic_power = False
+        #: True when ``_sampled_power`` is the base implementation, so
+        #: the scalar loop may call the fading model directly and the
+        #: vectorized backend may replicate it with batched samplers.
+        self._inline_fading = False
+        #: Count of nodes with the radio administratively down
+        #: (maintained via :meth:`note_active_change`), so the batched
+        #: path skips building an active-subset mask when all are up.
+        self._inactive_nodes = 0
+        #: Vectorized-backend state; populated by finalize() when the
+        #: resolved backend is "vectorized".
+        self._vector_sampler = None
+        self._vector_entries: Optional[Dict[int, _VectorEntry]] = None
+        self._np = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -104,12 +170,40 @@ class WirelessChannel:
 
         Re-running ``finalize()`` is the only legal way to change the
         topology, and it invalidates every derived cache (audibility
-        lists, the memoized connectivity map).
+        lists, the memoized connectivity map, the vectorized backend's
+        per-sender arrays -- whose per-link fading state is migrated by
+        receiver id, exactly as the scalar model's keyed dict survives a
+        re-finalize).
+
+        On meshes of :data:`GRID_MIN_NODES` or more, the O(N^2) pairing
+        scan is pruned through a :class:`SpatialGridIndex` sized by the
+        propagation model's analytic range bound: the grid yields a
+        superset of each sender's in-range nodes (sorted by node index,
+        i.e. registration order), and the exact per-pair power test
+        below decides audibility just as in the brute scan -- the
+        resulting lists are bit-identical.
         """
+        nodes = self.nodes
+        candidates = None
+        if len(nodes) >= GRID_MIN_NODES:
+            reach = self._max_audible_range_m()
+            if reach is not None:
+                grid = SpatialGridIndex(
+                    [node.position for node in nodes], cell_size_m=reach
+                )
+                candidates = [
+                    grid.candidates_within(i, reach)
+                    for i in range(len(nodes))
+                ]
         self._audible = {}
-        for sender in self.nodes:
+        for index, sender in enumerate(nodes):
             audible: List[Tuple[Node, float, float]] = []
-            for receiver in self.nodes:
+            pool = (
+                nodes
+                if candidates is None
+                else [nodes[j] for j in candidates[index]]
+            )
+            for receiver in pool:
                 if receiver is sender:
                     continue
                 mean_mw = self.mean_rx_power_mw(sender, receiver)
@@ -123,11 +217,138 @@ class WirelessChannel:
                     )
             self._audible[sender.node_id] = audible
         self._connectivity_cache = None
-        self._deterministic_power = (
-            isinstance(self.fading, NoFading)
-            and type(self)._sampled_power is WirelessChannel._sampled_power
+        base_sampled_power = (
+            type(self)._sampled_power is WirelessChannel._sampled_power
         )
+        self._deterministic_power = (
+            isinstance(self.fading, NoFading) and base_sampled_power
+        )
+        self._inline_fading = base_sampled_power
+        self._inactive_nodes = sum(
+            1 for node in nodes if not node.active
+        )
+        self._resolve_backend()
         self._finalized = True
+
+    def _max_audible_range_m(self) -> Optional[float]:
+        """Worst-case audibility radius, or ``None`` if unbounded.
+
+        Uses the loudest transmitter against the most sensitive cutoff,
+        so *every* audible pair in the mesh is within the returned
+        distance of each other; the grid query over this radius is a
+        strict superset of each audibility list.
+        """
+        if not self.nodes:
+            return None
+        cutoff = (
+            min(n.params.carrier_sense_threshold_mw for n in self.nodes)
+            / self.audible_margin_linear
+        )
+        if cutoff <= 0.0:
+            return None
+        max_tx = max(n.params.tx_power_mw for n in self.nodes)
+        max_gain = max(n.params.antenna_gain for n in self.nodes)
+        return self.propagation.max_range_for_power(
+            max_tx, cutoff, max_gain, max_gain
+        )
+
+    def _resolve_backend(self) -> None:
+        """Pick scalar vs vectorized reception for this channel.
+
+        "auto" vectorizes when the mesh is large enough, numpy imports,
+        no subclass replaced ``_sampled_power``, and the fading model
+        has a bit-identical batched sampler; anything else falls back to
+        the scalar loop.  "vectorized" demands it and raises with the
+        reason when impossible -- except for deterministic (NoFading)
+        channels, where the sample-free scalar loop *is* the batch
+        (there is nothing stochastic to vectorize) and is reported as
+        resolved "scalar".
+
+        The decision is per channel, never per sender: the sampler owns
+        a clone of the ``phy.fading`` uniform stream, and mixing scalar
+        draws into the original stream would desynchronize the two.
+        """
+        forced = self.phy_backend == "vectorized"
+        if self.phy_backend == "scalar" or self._deterministic_power:
+            self.phy_backend_resolved = "scalar"
+            self._vector_entries = None
+            return
+        if self.phy_backend == "auto" and len(self.nodes) < VECTOR_MIN_NODES:
+            self.phy_backend_resolved = "scalar"
+            self._vector_entries = None
+            return
+        if not self._inline_fading:
+            if forced:
+                raise ChannelError(
+                    f"phy_backend='vectorized' but {type(self).__name__} "
+                    "overrides _sampled_power; the batched path cannot "
+                    "replicate a custom power model bit-for-bit"
+                )
+            self.phy_backend_resolved = "scalar"
+            self._vector_entries = None
+            return
+        try:
+            from repro.phy import vectorized
+        except ImportError:
+            if forced:
+                raise
+            self.phy_backend_resolved = "scalar"
+            self._vector_entries = None
+            return
+        if self._vector_sampler is None:
+            sampler = vectorized.build_sampler(self.fading, self._fading_rng)
+            if sampler is None:
+                if forced:
+                    raise ChannelError(
+                        f"phy_backend='vectorized' but fading model "
+                        f"{type(self.fading).__name__} has no bit-identical "
+                        "batched sampler; use 'auto' or 'scalar'"
+                    )
+                self.phy_backend_resolved = "scalar"
+                self._vector_entries = None
+                return
+            # The sampler clones the python stream's MT state; from here
+            # on this channel must never draw from _fading_rng directly.
+            self._vector_sampler = sampler
+            self._np = vectorized.np
+        self._build_vector_entries()
+        self.phy_backend_resolved = "vectorized"
+
+    def _build_vector_entries(self) -> None:
+        """(Re)build per-sender batch arrays, migrating fading state."""
+        np = self._np
+        sampler = self._vector_sampler
+        previous = self._vector_entries or {}
+        entries: Dict[int, _VectorEntry] = {}
+        for sender in self.nodes:
+            audible = self._audible[sender.node_id]
+            receivers = [receiver for receiver, _, _ in audible]
+            entry = _VectorEntry(
+                receivers=receivers,
+                receiver_ids=[receiver.node_id for receiver in receivers],
+                mean_mw=np.array([mean for _, mean, _ in audible]),
+                rx_thr=np.array([thr for _, _, thr in audible]),
+                slot=sampler.new_slot(len(audible)),
+            )
+            old = previous.get(sender.node_id)
+            if old is not None:
+                saved = {
+                    rid: state
+                    for rid, state in zip(
+                        old.receiver_ids, sampler.dump_state(old.slot)
+                    )
+                    if state is not None
+                }
+                for position, rid in enumerate(entry.receiver_ids):
+                    state = saved.get(rid)
+                    if state is not None:
+                        sampler.load_state(entry.slot, position, state)
+            entries[sender.node_id] = entry
+        self._vector_entries = entries
+
+    def note_active_change(self, active: bool) -> None:
+        """O(1) hook from ``Node.set_active`` on every radio up/down flip."""
+        self._inactive_nodes += -1 if active else 1
 
     def mean_rx_power_mw(self, sender: Node, receiver: Node) -> float:
         """Mean (un-faded) received power for the sender->receiver link."""
@@ -189,24 +410,80 @@ class WirelessChannel:
         self.counters.add(counter_name)
         self.transmissions_in_flight += 1
         sender.phy_begin_own_tx()
-        deterministic = self._deterministic_power
         touched_append = tx.touched.append
-        for receiver, mean_mw, rx_threshold_mw in self._audible[sender.node_id]:
-            if not receiver.active:
-                continue
-            if deterministic:
-                power_mw = mean_mw
-            else:
-                power_mw = self._sampled_power(sender, receiver, mean_mw)
-                if power_mw <= 0.0:
-                    continue
-            receiver.phy_add_power(tx, power_mw)
-            touched_append(receiver)
-            if not receiver.transmitting and power_mw >= rx_threshold_mw:
-                reception = Reception(
-                    tx, receiver.node_id, power_mw, now, end_time
+        entries = self._vector_entries
+        if entries is not None:
+            # Batched path: one numpy evaluation of every audible link's
+            # fading draw, faded power and decode decision, then a thin
+            # fan-out loop feeding the per-node bookkeeping.  tolist()
+            # hands back plain Python floats, so power ledgers and
+            # telemetry never see numpy scalars.
+            entry = entries[sender.node_id]
+            receivers = entry.receivers
+            count = len(receivers)
+            if count:
+                sel = None
+                if self._inactive_nodes:
+                    sel = [
+                        k for k in range(count) if receivers[k].active
+                    ]
+                    if len(sel) == count:
+                        sel = None
+                gains = self._vector_sampler.gains(
+                    entry.slot, count, sel, now
                 )
-                receiver.phy_start_reception(reception)
+                if sel is None:
+                    powers = entry.mean_mw * gains
+                    decode = powers >= entry.rx_thr
+                    targets = receivers
+                else:
+                    index = self._np.asarray(sel, dtype=self._np.intp)
+                    powers = entry.mean_mw[index] * gains
+                    decode = powers >= entry.rx_thr[index]
+                    targets = [receivers[k] for k in sel]
+                power_list = powers.tolist()
+                decode_list = decode.tolist()
+                for k, receiver in enumerate(targets):
+                    power_mw = power_list[k]
+                    if power_mw <= 0.0:
+                        continue
+                    receiver.phy_add_power(tx, power_mw)
+                    touched_append(receiver)
+                    if decode_list[k] and not receiver.transmitting:
+                        reception = Reception(
+                            tx, receiver.node_id, power_mw, now, end_time
+                        )
+                        receiver.phy_start_reception(reception)
+        else:
+            deterministic = self._deterministic_power
+            sample = (
+                self.fading.sample_link_gain if self._inline_fading else None
+            )
+            rng = self._fading_rng
+            sender_id = sender.node_id
+            for receiver, mean_mw, rx_threshold_mw in self._audible[sender_id]:
+                if not receiver.active:
+                    continue
+                if deterministic:
+                    power_mw = mean_mw
+                else:
+                    if sample is not None:
+                        power_mw = mean_mw * sample(
+                            (sender_id, receiver.node_id), now, rng
+                        )
+                    else:
+                        power_mw = self._sampled_power(
+                            sender, receiver, mean_mw
+                        )
+                    if power_mw <= 0.0:
+                        continue
+                receiver.phy_add_power(tx, power_mw)
+                touched_append(receiver)
+                if not receiver.transmitting and power_mw >= rx_threshold_mw:
+                    reception = Reception(
+                        tx, receiver.node_id, power_mw, now, end_time
+                    )
+                    receiver.phy_start_reception(reception)
         self.sim.schedule(
             duration_s, self._end_transmission, tx, priority=EventPriority.PHY
         )

@@ -41,6 +41,10 @@ class NetworkConfig:
     #: min-hop baseline collapses and the metrics' relative gains come
     #: out ~2x the paper's.  10 s reproduces the paper's gain magnitudes.
     fading_coherence_time_s: float = 10.0
+    #: Reception backend: "auto" batches fading/decode math with numpy
+    #: on large meshes (bit-identical to the per-receiver loop),
+    #: "scalar"/"vectorized" force a path (see repro.net.channel).
+    phy_backend: str = "auto"
     propagation: Optional[PropagationModel] = None
     fading: Optional[FadingModel] = None
     mac: MacConfig = field(default_factory=MacConfig)
@@ -103,7 +107,8 @@ class Network:
         else:
             self.channel = WirelessChannel(
                 self.sim, self.config.build_propagation(),
-                self.config.build_fading()
+                self.config.build_fading(),
+                phy_backend=self.config.phy_backend,
             )
         self.nodes: List[Node] = []
         for index, position in enumerate(positions):

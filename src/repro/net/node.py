@@ -129,6 +129,8 @@ class Node:
         if active == self.active:
             return
         self.active = active
+        if self.channel is not None:
+            self.channel.note_active_change(active)
         if not active:
             self.counters.add("node.down_events")
             for reception in self.pending_receptions.values():

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, NamedTuple, Optional, Sequence
+from bisect import insort
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+#: Node count above which the O(N^2) helpers (``is_connected``,
+#: ``average_degree``) switch to a :class:`SpatialGridIndex`.  Below it
+#: the brute-force scan is faster than building the index.
+GRID_AUTO_NODES = 64
 
 
 class Position(NamedTuple):
@@ -20,6 +26,126 @@ class Position(NamedTuple):
 
     def distance_to(self, other: "Position") -> float:
         return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class SpatialGridIndex:
+    """Uniform-cell spatial hash over a list of :class:`Position`.
+
+    Buckets node indices into square cells of side ``cell_size_m``.  A
+    range query for radius ``r`` around a node scans only the cells
+    overlapping the axis-aligned box of half-width ``r`` -- O(cell
+    occupancy) instead of O(N).  The cell box is an exact superset of
+    the disk (``floor`` is monotone, so every point with both
+    coordinate offsets <= ``r`` falls inside the scanned box), which is
+    why :meth:`neighbors_within` can filter candidates with the same
+    ``Position.distance_to`` call the brute-force path uses and return
+    *bit-identical* neighbor sets.
+
+    Candidate lists come back sorted ascending by node index, matching
+    the iteration order of a plain ``for i, pos in enumerate(...)``
+    scan; downstream consumers (audible lists, connectivity maps) keep
+    their deterministic ordering for free.
+
+    The index is mobility-ready: :meth:`update_position` re-buckets a
+    single node and :meth:`rebuild` re-buckets everything, so a future
+    mobility model can invalidate incrementally instead of rebuilding
+    per query.
+    """
+
+    def __init__(
+        self, positions: Sequence[Position], cell_size_m: float
+    ) -> None:
+        if cell_size_m <= 0.0 or not math.isfinite(cell_size_m):
+            raise ValueError(
+                f"cell size must be positive and finite, got {cell_size_m}"
+            )
+        self.cell_size_m = float(cell_size_m)
+        self._positions: List[Position] = list(positions)
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+        self._bucket_all()
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def _cell_of(self, position: Position) -> Tuple[int, int]:
+        size = self.cell_size_m
+        return (
+            math.floor(position.x / size),
+            math.floor(position.y / size),
+        )
+
+    def _bucket_all(self) -> None:
+        cells: Dict[Tuple[int, int], List[int]] = {}
+        for index, position in enumerate(self._positions):
+            cells.setdefault(self._cell_of(position), []).append(index)
+        self._cells = cells
+
+    def rebuild(
+        self, positions: Optional[Sequence[Position]] = None
+    ) -> None:
+        """Re-bucket every node (bulk invalidation hook for mobility)."""
+        if positions is not None:
+            self._positions = list(positions)
+        self._bucket_all()
+
+    def update_position(self, index: int, position: Position) -> None:
+        """Move one node to ``position`` and re-bucket it."""
+        old_cell = self._cell_of(self._positions[index])
+        new_cell = self._cell_of(position)
+        self._positions[index] = position
+        if old_cell == new_cell:
+            return
+        bucket = self._cells[old_cell]
+        bucket.remove(index)
+        if not bucket:
+            del self._cells[old_cell]
+        # insort keeps per-cell lists ascending so candidate lists stay
+        # sorted without a per-query sort of every bucket.
+        insort(self._cells.setdefault(new_cell, []), index)
+
+    def candidates_within(self, index: int, range_m: float) -> List[int]:
+        """Indices in cells overlapping the disk (superset, sorted asc)."""
+        return self.candidates_near(self._positions[index], range_m)
+
+    def candidates_near(
+        self, position: Position, range_m: float
+    ) -> List[int]:
+        """Superset of indices within ``range_m`` of an arbitrary point.
+
+        The scanned box is padded by one cell ring: ``hypot`` rounds,
+        so a point whose *computed* distance is exactly ``range_m`` can
+        sit a few ulps outside the arithmetic box, and the superset
+        guarantee must hold against the same rounded comparison the
+        brute-force filter uses.  One cell absorbs that slack whenever
+        the cell size is not absurdly small against the coordinate
+        magnitudes (anything above ``max(|coord|) * 2**-50``).
+        """
+        if range_m < 0.0:
+            return []
+        size = self.cell_size_m
+        cx_lo = math.floor((position.x - range_m) / size) - 1
+        cx_hi = math.floor((position.x + range_m) / size) + 1
+        cy_lo = math.floor((position.y - range_m) / size) - 1
+        cy_hi = math.floor((position.y + range_m) / size) + 1
+        cells = self._cells
+        out: List[int] = []
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                bucket = cells.get((cx, cy))
+                if bucket:
+                    out.extend(bucket)
+        out.sort()
+        return out
+
+    def neighbors_within(self, index: int, range_m: float) -> List[int]:
+        """Grid-accelerated :func:`neighbors_within`; identical output."""
+        positions = self._positions
+        center = positions[index]
+        return [
+            i
+            for i in self.candidates_within(index, range_m)
+            if i != index and center.distance_to(positions[i]) <= range_m
+        ]
 
 
 def random_topology(
@@ -88,16 +214,32 @@ def neighbors_within(
     ]
 
 
+def _neighbor_query(positions: Sequence[Position], range_m: float):
+    """Pick brute-force or grid-backed neighbor lookup by problem size.
+
+    Both answer identically (the grid filters its candidate superset
+    with the same ``distance_to`` comparison), so the switch is purely
+    a constant-factor decision.
+    """
+    if len(positions) >= GRID_AUTO_NODES and range_m > 0.0 and math.isfinite(
+        range_m
+    ):
+        grid = SpatialGridIndex(positions, cell_size_m=range_m)
+        return lambda index: grid.neighbors_within(index, range_m)
+    return lambda index: neighbors_within(positions, index, range_m)
+
+
 def is_connected(positions: Sequence[Position], range_m: float) -> bool:
     """True if the unit-disk graph over ``positions`` is connected."""
     n = len(positions)
     if n <= 1:
         return True
+    neighbors = _neighbor_query(positions, range_m)
     seen = {0}
     frontier = [0]
     while frontier:
         current = frontier.pop()
-        for other in neighbors_within(positions, current, range_m):
+        for other in neighbors(current):
             if other not in seen:
                 seen.add(other)
                 frontier.append(other)
@@ -108,8 +250,6 @@ def average_degree(positions: Sequence[Position], range_m: float) -> float:
     """Mean unit-disk degree; a quick density diagnostic for scenarios."""
     if not positions:
         return 0.0
-    total = sum(
-        len(neighbors_within(positions, i, range_m))
-        for i in range(len(positions))
-    )
+    neighbors = _neighbor_query(positions, range_m)
+    total = sum(len(neighbors(i)) for i in range(len(positions)))
     return total / len(positions)

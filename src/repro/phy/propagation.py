@@ -11,8 +11,16 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Optional
 
 SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+#: Relative slack applied to analytically inverted ranges.  The inverse
+#: formulas are exact up to rounding; widening the radius by one part in
+#: a million guarantees the returned bound is a *superset* test -- any
+#: link whose mean power clears the cutoff lies within it -- while the
+#: per-pair power check stays the single source of truth.
+_RANGE_SAFETY = 1.0 + 1e-6
 
 
 class PropagationModel(ABC):
@@ -31,6 +39,25 @@ class PropagationModel(ABC):
     def gain(self, distance_m: float) -> float:
         """Channel power gain (rx power / tx power) with unit antennas."""
         return self.rx_power_mw(1.0, distance_m)
+
+    def max_range_for_power(
+        self,
+        tx_power_mw: float,
+        min_power_mw: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> Optional[float]:
+        """Upper bound on the distance at which mean power >= cutoff.
+
+        The spatial grid index uses this to restrict audibility scans to
+        nearby cells: every receiver whose mean power reaches
+        ``min_power_mw`` is guaranteed to lie within the returned radius
+        (slightly over-estimated on purpose; exact audibility is always
+        re-decided per pair by :meth:`rx_power_mw`).  Returns ``None``
+        when the model cannot bound the range analytically -- callers
+        must then fall back to the brute-force O(N^2) scan.
+        """
+        return None
 
 
 class FreeSpacePropagation(PropagationModel):
@@ -53,6 +80,21 @@ class FreeSpacePropagation(PropagationModel):
             return tx_power_mw * tx_gain * rx_gain
         factor = self.wavelength_m / (4.0 * math.pi * distance_m)
         return tx_power_mw * tx_gain * rx_gain * factor * factor
+
+    def max_range_for_power(
+        self,
+        tx_power_mw: float,
+        min_power_mw: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> Optional[float]:
+        budget = tx_power_mw * tx_gain * rx_gain
+        if budget <= 0.0 or min_power_mw <= 0.0:
+            return None
+        distance = (self.wavelength_m / (4.0 * math.pi)) * math.sqrt(
+            budget / min_power_mw
+        )
+        return distance * _RANGE_SAFETY
 
 
 class TwoRayGroundPropagation(PropagationModel):
@@ -101,6 +143,26 @@ class TwoRayGroundPropagation(PropagationModel):
         d2 = distance_m * distance_m
         return tx_power_mw * tx_gain * rx_gain * ht2 * hr2 / (d2 * d2)
 
+    def max_range_for_power(
+        self,
+        tx_power_mw: float,
+        min_power_mw: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> Optional[float]:
+        free_space = self._free_space.max_range_for_power(
+            tx_power_mw, min_power_mw, tx_gain, rx_gain
+        )
+        if free_space is None:
+            return None
+        budget = tx_power_mw * tx_gain * rx_gain
+        ht2 = self.tx_antenna_height_m * self.tx_antenna_height_m
+        hr2 = self.rx_antenna_height_m * self.rx_antenna_height_m
+        ground = (budget * ht2 * hr2 / min_power_mw) ** 0.25 * _RANGE_SAFETY
+        # Whichever branch reaches farther bounds the model: below the
+        # crossover the free-space inverse applies, above it the d^-4 one.
+        return max(free_space, ground)
+
 
 class LogDistancePropagation(PropagationModel):
     """Log-distance model: free space to ``d0``, exponent ``n`` beyond.
@@ -139,3 +201,27 @@ class LogDistancePropagation(PropagationModel):
                 tx_power_mw, distance_m, tx_gain, rx_gain
             )
         return reference_power * (d0 / distance_m) ** self.path_loss_exponent
+
+    def max_range_for_power(
+        self,
+        tx_power_mw: float,
+        min_power_mw: float,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+    ) -> Optional[float]:
+        if min_power_mw <= 0.0:
+            return None
+        d0 = self.reference_distance_m
+        reference_power = self._free_space.rx_power_mw(
+            tx_power_mw, d0, tx_gain, rx_gain
+        )
+        if reference_power <= 0.0:
+            return None
+        if reference_power <= min_power_mw:
+            # Cutoff reached inside the free-space region (d <= d0).
+            free_space = self._free_space.max_range_for_power(
+                tx_power_mw, min_power_mw, tx_gain, rx_gain
+            )
+            return None if free_space is None else min(free_space, d0)
+        ratio = reference_power / min_power_mw
+        return d0 * ratio ** (1.0 / self.path_loss_exponent) * _RANGE_SAFETY

@@ -77,7 +77,12 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        # Inlined schedule_at: this is the hottest scheduling entry point
+        # (every frame, timer and protocol tick goes through it), and
+        # delay >= 0 already implies time >= now.
+        event = Event(self._now + delay, callback, args, priority)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
 
     def schedule_at(
         self,

@@ -149,15 +149,23 @@ def differential_check(
     spec: ExperimentSpec,
     jobs: int = 2,
     work_dir: Optional[str] = None,
+    phy_backends: Sequence[str] = ("scalar", "vectorized"),
 ) -> List[str]:
     """Run ``spec`` through every execution path; describe divergences.
 
     The serial in-process sweep is the oracle.  Each alternate path --
-    a process pool, a cold-then-warm cache, and a telemetry-enabled
-    serial pass -- must reproduce the oracle's :class:`RunResult` rows
-    bit-for-bit (the telemetry pass is compared with its artifact path
-    masked, since the path is the one legitimately new field).  Returns
-    an empty list when every path agrees; error strings otherwise.
+    a process pool, a cold-then-warm cache, a telemetry-enabled serial
+    pass, and one forced-``phy_backend`` serial pass per entry in
+    ``phy_backends`` -- must reproduce the oracle's :class:`RunResult`
+    rows bit-for-bit (the telemetry pass is compared with its artifact
+    path masked, since the path is the one legitimately new field).
+    The backend axis is the scalar<->vectorized parity gate: forcing
+    either reception path through :class:`NetworkConfig.phy_backend`
+    must not move a single bit relative to the spec's own (usually
+    "auto") setting.  Backend passes are skipped when numpy is absent
+    (the vectorized path cannot be forced without it) or when the spec
+    already pins a non-auto backend.  Returns an empty list when every
+    path agrees; error strings otherwise.
     """
     spec.validate()
     specs = sweep_specs(spec.config, spec.protocols, spec.seeds)
@@ -177,6 +185,32 @@ def differential_check(
     divergence = _first_difference(f"jobs={jobs}", baseline, pooled)
     if divergence:
         errors.append(divergence)
+
+    if phy_backends and spec.config.network.phy_backend == "auto":
+        try:
+            import repro.phy.vectorized  # noqa: F401
+        except ImportError:
+            backends: Sequence[str] = ()
+        else:
+            backends = phy_backends
+        for backend in backends:
+            backend_config = dataclasses.replace(
+                spec.config,
+                network=dataclasses.replace(
+                    spec.config.network, phy_backend=backend
+                ),
+            )
+            forced = [
+                run_protocol(s.protocol, s.seeded_config())
+                for s in sweep_specs(
+                    backend_config, spec.protocols, spec.seeds
+                )
+            ]
+            divergence = _first_difference(
+                f"phy-{backend}", baseline, forced
+            )
+            if divergence:
+                errors.append(divergence)
 
     if work_dir is not None:
         cache_dir = os.path.join(work_dir, "fuzz-cache")

@@ -16,13 +16,38 @@ from repro.experiments.parallel import (
     verify_parallel_consistency,
 )
 from repro.experiments.results import aggregate_runs
-from repro.experiments.scenarios import SimulationScenarioConfig
+from repro.experiments.runner import run_protocol
+from repro.experiments.scenarios import (
+    SimulationScenarioConfig,
+    macro_flood_config,
+)
 
 
 @pytest.mark.perfsmoke
 def test_mini_sweep_parallel_matches_serial(tmp_path):
     divergences = verify_parallel_consistency(jobs=2, cache_dir=str(tmp_path))
     assert divergences == [], "\n".join(divergences)
+
+
+@pytest.mark.perfsmoke
+def test_macro_flood_2000_nodes_completes():
+    """Bounded city-scale smoke: a 2,000-node JOIN QUERY flood at the
+    paper's node density must run to completion on the auto-resolved
+    (vectorized) backend -- the workload the spatial grid index and the
+    batched reception path exist for.  Kept short (a couple of ODMRP
+    refresh rounds) so the perfsmoke tier stays minutes, not hours.
+    """
+    config = macro_flood_config(
+        num_nodes=2000, duration_s=4.0, warmup_s=0.5,
+        members_per_group=10, rate_pps=2.0,
+    )
+    result = run_protocol("odmrp", config)
+    assert result.error is None, result.error
+    queries = result.counters.get("channel.tx.join_query", 0.0)
+    assert queries >= 2000, (
+        f"flood did not propagate mesh-wide: {queries} JOIN QUERY tx"
+    )
+    assert result.offered_packets > 0
 
 
 @pytest.mark.perfsmoke
