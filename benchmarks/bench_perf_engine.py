@@ -14,6 +14,9 @@ PRs has a recorded trajectory to compare against.  It measures:
   timing both (``scripts/bench_check.py`` gates on this row).
 * **macro flood** -- a 2,000-node JOIN QUERY flood at paper density:
   the workload the spatial grid index and vectorized PHY exist for.
+* **mobility flood** -- the same flood at 500 nodes with every node in
+  random-waypoint motion: tracks the incremental topology-invalidation
+  pipeline's per-tick cost.
 
 Results land in ``BENCH_perf.json`` at the repo root: events/sec,
 wall-clock per run, and the parallel speedup.  Speedup tracks the
@@ -26,7 +29,8 @@ Run via pytest (``pytest benchmarks/bench_perf_engine.py -s``) or
 directly (``PYTHONPATH=src python benchmarks/bench_perf_engine.py``).
 Scale knobs: ``REPRO_PERF_EVENTS`` (micro events), ``REPRO_PERF_SEEDS``
 (meso seeds), ``REPRO_JOBS`` (meso pool size), ``REPRO_MACRO_NODES``
-(macro flood mesh size).
+(macro flood mesh size), ``REPRO_MOBILITY_NODES`` (mobility flood mesh
+size).
 """
 
 from __future__ import annotations
@@ -273,6 +277,59 @@ def bench_macro_flood() -> None:
     )
 
 
+def bench_mobility_flood() -> None:
+    """Record the moving-mesh row: 500 nodes under random-waypoint.
+
+    Times the same flood workload as the macro row, but with every node
+    in motion -- each mobility tick pays the incremental topology
+    pipeline (O(1) grid re-buckets, one pruned audibility re-derivation,
+    vectorized fading-state migration), so this row tracks the cost of
+    dynamics on top of raw event churn.
+    """
+    from repro.mobility.config import MobilitySpec
+
+    num_nodes = _env_int("REPRO_MOBILITY_NODES", 500)
+    config = dataclasses.replace(
+        macro_flood_config(
+            num_nodes=num_nodes, duration_s=6.0, warmup_s=0.5,
+            members_per_group=10, rate_pps=2.0,
+        ),
+        mobility=MobilitySpec(
+            model="random-waypoint",
+            update_interval_s=1.0,
+            speed_min_mps=1.0,
+            speed_max_mps=20.0,
+        ),
+    )
+    start = time.perf_counter()
+    result = run_protocol("odmrp", config)
+    wall = time.perf_counter() - start
+    assert result.error is None, result.error
+    moves = result.counters.get("mobility.moves", 0.0)
+    assert moves > 0, "mobility flood produced no moves"
+    _write_report("mobility_flood", {
+        "num_nodes": num_nodes,
+        "area_side_m": round(config.area_width_m, 1),
+        "duration_s": config.duration_s,
+        "protocol": "odmrp",
+        "mobility_model": "random-waypoint",
+        "update_interval_s": config.mobility.update_interval_s,
+        "wall_s": round(wall, 3),
+        "sim_seconds_per_wall_second": round(config.duration_s / wall, 3)
+        if wall > 0 else None,
+        "position_updates": moves,
+        "distance_travelled_m": round(
+            result.counters.get("mobility.distance_m", 0.0), 1
+        ),
+        "phy_backend": "auto",
+    })
+    print(
+        f"\nmobility flood: {num_nodes} nodes moving, "
+        f"{config.duration_s:.0f} sim-s in {wall:.1f}s wall "
+        f"({moves:.0f} position updates)"
+    )
+
+
 if __name__ == "__main__":
     import sys
 
@@ -280,5 +337,6 @@ if __name__ == "__main__":
     bench_sweep_parallel_vs_serial()
     bench_phy_backends()
     bench_macro_flood()
+    bench_mobility_flood()
     print(f"wrote {os.path.normpath(BENCH_PATH)}")
     sys.exit(0)

@@ -279,6 +279,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         use_cache=False if args.no_cache else None,
         run_timeout_s=args.run_timeout,
         max_retries=args.max_retries,
+        mobility_models=_parse_csv(args.mobility_models),
     )
     if getattr(args, "telemetry_dir", None):
         from dataclasses import replace
@@ -337,6 +338,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from repro.validation.fuzzing import (
         default_validation_spec,
         differential_check,
+        moving_validation_spec,
         random_spec,
         run_with_invariants,
         write_replay_spec,
@@ -367,6 +369,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
             return 1
     elif not args.fuzz:
         specs.append(default_validation_spec())
+        specs.append(moving_validation_spec())
     specs += [
         random_spec(index, master_seed=args.fuzz_seed)
         for index in range(args.fuzz)
@@ -535,6 +538,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "names, e.g. maodv,maodv-etx,maodv-spp)")
     run.add_argument("--seeds", metavar="1,2,...", default=None,
                      help="override the spec's topology seeds")
+    run.add_argument("--mobility-models", metavar="A,B,...", default=None,
+                     help="override the spec's mobility axis (model names "
+                          "from the mobility registry, e.g. "
+                          "static,random-waypoint,gauss-markov); each "
+                          "model reruns the whole grid, results are "
+                          "labeled protocol@model")
     run.add_argument("--jobs", type=int, default=None,
                      help="override the spec's worker-process count "
                           "(0 = one per CPU)")

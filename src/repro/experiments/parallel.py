@@ -59,7 +59,9 @@ from repro.telemetry.manifest import canonicalize
 #: v4: scenario configs gained `faults` (declarative outage/flapping
 #: plans) and `validation` (invariant monitors) sections.
 #: v5: network configs gained `phy_backend` (vectorized PHY reception).
-CACHE_SCHEMA_VERSION = 5
+#: v6: scenario configs gained `mobility`, `obstacles`, and `energy`
+#: sections (dynamic networks).
+CACHE_SCHEMA_VERSION = 6
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "runs")

@@ -108,7 +108,9 @@ def collect_result(
         if scenario.probing is not None
         else 0.0
     )
-    interesting_prefixes = ("odmrp.", "phy.", "tx.", "channel.")
+    interesting_prefixes = (
+        "odmrp.", "phy.", "tx.", "channel.", "mobility.", "energy.",
+    )
     counters = {}
     for node in scenario.network.nodes:
         for name, value in node.counters.as_dict().items():
@@ -228,18 +230,46 @@ def run_experiment(
     that set ``run_timeout_s`` / ``max_retries`` -- or callers passing
     ``resume=True`` -- execute under the resilient supervisor (see
     :mod:`repro.experiments.resilience`).
+
+    A spec with ``mobility_models`` runs the protocols x seeds grid once
+    per listed model (``config.mobility.model`` replaced per cell) and
+    relabels each result ``protocol@model``, so reports and result files
+    keep the cells apart.  Run caching stays sound: per-model configs
+    hash to distinct cache keys, and the shared journal (``resume``)
+    records per-run spec keys, so sub-sweeps can share one journal.
     """
+    import dataclasses as _dc
+
     spec.validate()
-    return compare_protocols(
-        spec.config,
-        protocols=spec.protocols,
-        topology_seeds=spec.seeds,
-        progress=progress,
-        jobs=spec.jobs,
-        use_cache=spec.use_cache,
-        cache_dir=cache_dir,
-        run_timeout_s=spec.run_timeout_s,
-        max_retries=spec.max_retries,
-        resume=resume,
-        journal_path=journal_path,
-    )
+
+    def _execute(config, label_suffix: str) -> List[RunResult]:
+        results = compare_protocols(
+            config,
+            protocols=spec.protocols,
+            topology_seeds=spec.seeds,
+            progress=progress,
+            jobs=spec.jobs,
+            use_cache=spec.use_cache,
+            cache_dir=cache_dir,
+            run_timeout_s=spec.run_timeout_s,
+            max_retries=spec.max_retries,
+            resume=resume,
+            journal_path=journal_path,
+        )
+        if not label_suffix:
+            return results
+        return [
+            _dc.replace(result, protocol=f"{result.protocol}{label_suffix}")
+            for result in results
+        ]
+
+    if not spec.mobility_models:
+        return _execute(spec.config, "")
+    all_results: List[RunResult] = []
+    for model in spec.mobility_models:
+        config = _dc.replace(
+            spec.config,
+            mobility=_dc.replace(spec.config.mobility, model=model),
+        )
+        all_results.extend(_execute(config, f"@{model}"))
+    return all_results

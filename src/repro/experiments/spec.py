@@ -269,6 +269,11 @@ class ExperimentSpec:
     #: OOM kills).  ``None`` = plain executor unless another resilience
     #: knob is set, in which case the default policy (2 retries) applies.
     max_retries: Optional[int] = None
+    #: Optional mobility axis: run the whole protocols x seeds grid once
+    #: per listed model (``config.mobility.model`` replaced per cell) and
+    #: label results ``protocol@model``.  Empty = no axis, the spec's
+    #: ``config.mobility`` applies as-is.
+    mobility_models: Tuple[str, ...] = ()
     config: SimulationScenarioConfig = field(
         default_factory=SimulationScenarioConfig
     )
@@ -276,6 +281,7 @@ class ExperimentSpec:
     def __post_init__(self) -> None:
         self.protocols = tuple(self.protocols)
         self.seeds = tuple(self.seeds)
+        self.mobility_models = tuple(self.mobility_models)
 
     # -- validation ----------------------------------------------------
 
@@ -306,11 +312,19 @@ class ExperimentSpec:
                 f"got {self.max_retries!r}"
             )
         self.resolve_protocols()
+        from repro.mobility.models import mobility_model_by_name
+
+        for model in self.mobility_models:
+            try:
+                mobility_model_by_name(model)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from exc
         return self
 
     @property
     def total_runs(self) -> int:
-        return len(self.protocols) * len(self.seeds)
+        cells = max(1, len(self.mobility_models))
+        return len(self.protocols) * len(self.seeds) * cells
 
     def describe(self) -> str:
         """Human-readable run plan (the CLI's ``--dry-run`` output)."""
@@ -319,10 +333,19 @@ class ExperimentSpec:
         ]
         if self.description:
             lines.append(f"  {self.description}")
+        mobility_axis = (
+            f" x {len(self.mobility_models)} mobility models"
+            if self.mobility_models else ""
+        )
         lines += [
             f"runs: {len(self.protocols)} protocols x "
-            f"{len(self.seeds)} topologies = {self.total_runs}",
+            f"{len(self.seeds)} topologies{mobility_axis} = {self.total_runs}",
             f"seeds: {', '.join(str(seed) for seed in self.seeds)}",
+            *(
+                [f"mobility: {', '.join(self.mobility_models)} "
+                 f"(interval {self.config.mobility.update_interval_s:g} s)"]
+                if self.mobility_models else []
+            ),
             f"scenario: {self.config.num_nodes} nodes, "
             f"{self.config.duration_s:g} s simulated, "
             f"{self.config.num_groups} group(s) x "
@@ -371,6 +394,8 @@ class ExperimentSpec:
             data["run_timeout_s"] = self.run_timeout_s
         if self.max_retries is not None:
             data["max_retries"] = self.max_retries
+        if self.mobility_models:
+            data["mobility_models"] = list(self.mobility_models)
         data["config"] = config_to_dict(self.config)
         return data
 
@@ -386,7 +411,8 @@ class ExperimentSpec:
             )
         known = {
             "schema", "name", "description", "protocols", "seeds",
-            "jobs", "use_cache", "run_timeout_s", "max_retries", "config",
+            "jobs", "use_cache", "run_timeout_s", "max_retries",
+            "mobility_models", "config",
         }
         unknown = set(data) - known
         if unknown:
@@ -403,6 +429,8 @@ class ExperimentSpec:
             kwargs["protocols"] = tuple(data["protocols"])
         if "seeds" in data:
             kwargs["seeds"] = tuple(data["seeds"])
+        if "mobility_models" in data:
+            kwargs["mobility_models"] = tuple(data["mobility_models"])
         if "config" in data:
             kwargs["config"] = config_from_dict(data["config"])
         return cls(**kwargs)
@@ -466,6 +494,7 @@ class ExperimentSpec:
         use_cache: Optional[bool] = None,
         run_timeout_s: Optional[float] = None,
         max_retries: Optional[int] = None,
+        mobility_models: Optional[Sequence[str]] = None,
     ) -> "ExperimentSpec":
         """A copy with CLI-style overrides applied (None = keep)."""
         return dataclasses.replace(
@@ -473,6 +502,8 @@ class ExperimentSpec:
             protocols=tuple(protocols) if protocols is not None
             else self.protocols,
             seeds=tuple(seeds) if seeds is not None else self.seeds,
+            mobility_models=tuple(mobility_models)
+            if mobility_models is not None else self.mobility_models,
             jobs=self.jobs if jobs is None else jobs,
             use_cache=self.use_cache if use_cache is None else use_cache,
             run_timeout_s=self.run_timeout_s if run_timeout_s is None

@@ -1,0 +1,44 @@
+"""repro.mobility: time-varying positions, obstacles, and batteries.
+
+The subsystem makes node positions, the radio environment, and node
+lifetime first-class, *time-varying* scenario state:
+
+* :mod:`repro.mobility.models` -- the mobility model registry
+  (``static`` / ``random-waypoint`` / ``gauss-markov`` /
+  ``waypoint-swarm``), each drawing from its own isolated RNG stream.
+* :mod:`repro.mobility.driver` -- the observer tick that pushes model
+  moves through ``Node.set_position`` into the channel's incremental
+  topology invalidation.
+* :mod:`repro.mobility.config` -- the declarative
+  :class:`MobilitySpec` / :class:`EnergySpec` that ride on scenario
+  configs and round-trip through spec files.
+* :mod:`repro.mobility.energy` -- per-node battery accounting with
+  dead-at-zero through the existing fault path.
+
+Obstacle shadowing lives in :mod:`repro.phy.obstacles` (it is a
+propagation-layer concern), but is part of the same dynamic-networks
+workload and is configured alongside these specs.
+"""
+
+from repro.mobility.config import EnergySpec, MobilitySpec
+from repro.mobility.driver import MobilityDriver
+from repro.mobility.energy import EnergyModel
+from repro.mobility.models import (
+    MobilityModel,
+    build_mobility_model,
+    mobility_model_by_name,
+    mobility_model_names,
+    register_mobility_model,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergySpec",
+    "MobilityDriver",
+    "MobilityModel",
+    "MobilitySpec",
+    "build_mobility_model",
+    "mobility_model_by_name",
+    "mobility_model_names",
+    "register_mobility_model",
+]

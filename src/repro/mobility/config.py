@@ -1,0 +1,121 @@
+"""Declarative mobility and energy specs for scenario configs.
+
+Both dataclasses ride inside a
+:class:`~repro.experiments.scenarios.SimulationScenarioConfig` and
+round-trip strictly through the spec machinery
+(:mod:`repro.experiments.spec`), so a (protocol x mobility x energy)
+sweep cell is one spec entry.  Both validate eagerly at construction --
+a typo'd model name or a negative joule cost fails when the config is
+built (or the spec file is loaded), never mid-sweep.
+
+The defaults are inert: ``MobilitySpec(model="static")`` schedules no
+driver and ``EnergySpec(enabled=False)`` builds no accountant, so a
+default config executes the exact pre-mobility instruction stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mobility.models import mobility_model_by_name
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+@dataclass
+class MobilitySpec:
+    """How (and whether) nodes move during a run."""
+
+    #: Registered model name; "static" disables mobility entirely.
+    model: str = "static"
+    #: Virtual seconds between position updates (the driver's tick).
+    update_interval_s: float = 1.0
+    #: Travel speed range (uniform per leg for waypoint models; the
+    #: mean/clamp range for gauss-markov).
+    speed_min_mps: float = 1.0
+    speed_max_mps: float = 10.0
+    #: Rest time at each waypoint (random-waypoint / waypoint-swarm).
+    pause_s: float = 0.0
+    #: Gauss-Markov memory in [0, 1): 0 is memoryless, ->1 is ballistic.
+    alpha: float = 0.75
+    #: waypoint-swarm: nodes per swarm and member spread radius.
+    swarm_size: int = 4
+    swarm_radius_m: float = 50.0
+
+    def __post_init__(self) -> None:
+        mobility_model_by_name(self.model)  # eager did-you-mean check
+        for name in ("update_interval_s", "speed_min_mps", "speed_max_mps",
+                     "pause_s", "alpha", "swarm_radius_m"):
+            _require_finite(name, getattr(self, name))
+        if self.update_interval_s <= 0.0:
+            raise ValueError(
+                f"update_interval_s must be positive, "
+                f"got {self.update_interval_s!r}"
+            )
+        if self.speed_min_mps < 0.0 or self.speed_max_mps <= 0.0:
+            raise ValueError(
+                f"speeds must be non-negative (max positive), got "
+                f"[{self.speed_min_mps!r}, {self.speed_max_mps!r}]"
+            )
+        if self.speed_min_mps > self.speed_max_mps:
+            raise ValueError(
+                f"speed_min_mps {self.speed_min_mps!r} exceeds "
+                f"speed_max_mps {self.speed_max_mps!r}"
+            )
+        if self.pause_s < 0.0:
+            raise ValueError(f"pause_s must be >= 0, got {self.pause_s!r}")
+        if not 0.0 <= self.alpha < 1.0:
+            raise ValueError(
+                f"alpha must lie in [0, 1), got {self.alpha!r}"
+            )
+        if self.swarm_size < 1:
+            raise ValueError(
+                f"swarm_size must be >= 1, got {self.swarm_size!r}"
+            )
+        if self.swarm_radius_m < 0.0:
+            raise ValueError(
+                f"swarm_radius_m must be >= 0, got {self.swarm_radius_m!r}"
+            )
+
+    def is_static(self) -> bool:
+        return self.model == "static"
+
+
+@dataclass
+class EnergySpec:
+    """Per-node battery accounting; dead-at-zero takes the radio down."""
+
+    enabled: bool = False
+    #: Battery budget per node at t=0.
+    initial_j: float = 100.0
+    #: Marginal joules per transmitted / received byte.
+    tx_j_per_byte: float = 2e-6
+    rx_j_per_byte: float = 1e-6
+    #: Baseline standby drain (applies whether or not the radio is up).
+    idle_w: float = 0.01
+    #: Virtual seconds between accounting passes.
+    accounting_interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("initial_j", "tx_j_per_byte", "rx_j_per_byte",
+                     "idle_w", "accounting_interval_s"):
+            _require_finite(name, getattr(self, name))
+        if self.accounting_interval_s <= 0.0:
+            raise ValueError(
+                f"accounting_interval_s must be positive, "
+                f"got {self.accounting_interval_s!r}"
+            )
+        if self.enabled and self.initial_j <= 0.0:
+            raise ValueError(
+                f"initial_j must be positive when energy accounting is "
+                f"enabled, got {self.initial_j!r}"
+            )
+        for name in ("tx_j_per_byte", "rx_j_per_byte", "idle_w"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)!r}"
+                )

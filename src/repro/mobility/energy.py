@@ -1,0 +1,102 @@
+"""Per-node energy accounting: tx/rx/idle joule costs, dead at zero.
+
+``EnergyModel.step`` runs as an observer on the scenario's chunked run
+loop (interval ``EnergySpec.accounting_interval_s``).  Each pass charges
+every node, in node-id order, for
+
+* the bytes it transmitted and received since the last pass (read from
+  the ``tx.*.bytes`` / ``rx.*.bytes`` counters the node already
+  maintains -- no model code knows it is being metered), and
+* the idle baseline ``idle_w * dt`` (standby electronics drain whether
+  or not the radio is up).
+
+A node whose battery reaches zero is taken down through the *existing*
+fault path (``Node.set_active(False)``), so protocol soft state reacts
+to energy death exactly as it does to an injected outage; if a fault
+plan later revives the radio, the next accounting pass kills it again
+(dead batteries stay dead).  Because the pass runs at exact virtual-time
+boundaries and does pure arithmetic, an energy-enabled run is
+deterministic across every execution path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.mobility.config import EnergySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+    from repro.net.node import Node
+
+
+def _traffic_bytes(node: "Node", prefix: str) -> float:
+    """Sum a node's ``<prefix>*.bytes`` counters (tx. or rx.)."""
+    return sum(
+        value
+        for name, value in node.counters.as_dict().items()
+        if name.startswith(prefix) and name.endswith(".bytes")
+    )
+
+
+class EnergyModel:
+    """Battery bookkeeping for every node in one network."""
+
+    def __init__(self, spec: EnergySpec, network: "Network") -> None:
+        self.spec = spec
+        self.network = network
+        self._remaining: Dict[int, float] = {
+            node.node_id: spec.initial_j for node in network.nodes
+        }
+        self._last_tx: Dict[int, float] = {
+            node.node_id: 0.0 for node in network.nodes
+        }
+        self._last_rx: Dict[int, float] = {
+            node.node_id: 0.0 for node in network.nodes
+        }
+        self._last_time = 0.0
+
+    def step(self) -> None:
+        """Charge every node for the interval since the previous pass."""
+        now = self.network.sim.now
+        dt = now - self._last_time
+        self._last_time = now
+        if dt <= 0.0:
+            return
+        spec = self.spec
+        for node in self.network.nodes:
+            node_id = node.node_id
+            tx = _traffic_bytes(node, "tx.")
+            rx = _traffic_bytes(node, "rx.")
+            drain = (
+                (tx - self._last_tx[node_id]) * spec.tx_j_per_byte
+                + (rx - self._last_rx[node_id]) * spec.rx_j_per_byte
+                + spec.idle_w * dt
+            )
+            self._last_tx[node_id] = tx
+            self._last_rx[node_id] = rx
+            remaining = self._remaining[node_id]
+            if remaining <= 0.0:
+                # Already depleted; keep the radio down even if a fault
+                # plan's recovery event flipped it back on.
+                if node.active:
+                    node.set_active(False)
+                continue
+            node.counters.add("energy.consumed_j", min(drain, remaining))
+            remaining -= drain
+            if remaining <= 0.0:
+                remaining = 0.0
+                node.counters.add("energy.depleted")
+                node.set_active(False)
+            self._remaining[node_id] = remaining
+
+    # -- diagnostics (telemetry probes) --------------------------------
+
+    def remaining_j(self, node_id: int) -> float:
+        return self._remaining[node_id]
+
+    def total_remaining_j(self) -> float:
+        return sum(self._remaining.values())
+
+    def alive_count(self) -> int:
+        return sum(1 for value in self._remaining.values() if value > 0.0)

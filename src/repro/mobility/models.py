@@ -1,0 +1,344 @@
+"""Mobility models: deterministic per-tick position generators.
+
+Every model advances node positions in *node-index order* with a fixed
+per-tick draw discipline, so a trajectory is fully determined by the
+``(model, spec, arena, initial positions, rng stream)`` tuple -- the same
+determinism contract every other subsystem honors.  Models draw only
+from the RNG stream they are handed (``mobility.<model>`` on the run's
+:class:`~repro.sim.rng.RngRegistry`), never from a shared stream, so
+enabling mobility cannot perturb fading, MAC backoff, or traffic draws.
+
+Registered models:
+
+``static``
+    The no-op model: never moves anything.  Scenarios with
+    ``MobilitySpec.model == "static"`` (the default) skip the driver
+    entirely, executing the exact pre-mobility instruction stream.
+``random-waypoint``
+    The classic model: pick a uniform waypoint in the arena, travel to it
+    at a uniform speed from ``[speed_min, speed_max]``, pause, repeat.
+``gauss-markov``
+    Temporally correlated velocity: speed and heading follow AR(1)
+    processes with memory ``alpha``; near an arena edge the mean heading
+    steers back toward the center, so nodes never escape the arena.
+``waypoint-swarm``
+    Group mobility: consecutive nodes form swarms of ``swarm_size``
+    whose *reference point* follows random-waypoint; members hold fixed
+    offsets within ``swarm_radius_m`` of it (the reference-point group
+    mobility model).
+
+All models clamp emitted positions to ``[0, width] x [0, height]``, so
+the in-bounds invariant holds by construction (property-tested).
+"""
+
+from __future__ import annotations
+
+import difflib
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Type
+
+from repro.net.topology import Position
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config -> here)
+    import random
+
+    from repro.mobility.config import MobilitySpec
+
+_MODELS: Dict[str, Type["MobilityModel"]] = {}
+
+
+def register_mobility_model(cls: Type["MobilityModel"]) -> Type["MobilityModel"]:
+    """Class decorator adding a model to the registry by its ``name``."""
+    if not getattr(cls, "name", None):
+        raise ValueError(f"{cls.__name__} declares no model name")
+    if cls.name in _MODELS:
+        raise ValueError(f"mobility model {cls.name!r} already registered")
+    _MODELS[cls.name] = cls
+    return cls
+
+
+def mobility_model_names() -> Tuple[str, ...]:
+    """Registered model names, sorted."""
+    return tuple(sorted(_MODELS))
+
+
+def mobility_model_by_name(name: str) -> Type["MobilityModel"]:
+    """Resolve a model name, with a did-you-mean on typos."""
+    model = _MODELS.get(name)
+    if model is not None:
+        return model
+    message = (
+        f"unknown mobility model {name!r}; valid models: "
+        + ", ".join(mobility_model_names())
+    )
+    close = difflib.get_close_matches(str(name), mobility_model_names(), n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    raise ValueError(message)
+
+
+def build_mobility_model(
+    spec: "MobilitySpec",
+    width_m: float,
+    height_m: float,
+    positions: Sequence[Position],
+    rng: "random.Random",
+) -> "MobilityModel":
+    """Instantiate the spec's model over the given arena and placement."""
+    return mobility_model_by_name(spec.model)(
+        spec, width_m, height_m, positions, rng
+    )
+
+
+class MobilityModel(ABC):
+    """Base class: owns positions, arena bounds, and one RNG stream."""
+
+    name = ""
+
+    def __init__(
+        self,
+        spec: "MobilitySpec",
+        width_m: float,
+        height_m: float,
+        positions: Sequence[Position],
+        rng: "random.Random",
+    ) -> None:
+        self.spec = spec
+        self.width_m = float(width_m)
+        self.height_m = float(height_m)
+        self.positions: List[Position] = list(positions)
+        self.rng = rng
+        self._last_time = 0.0
+
+    def advance(self, now: float) -> List[Tuple[int, Position]]:
+        """Move the clock to ``now``; returns ``(index, position)`` moves.
+
+        The driver calls this once per update interval; ``dt`` is the
+        elapsed virtual time since the previous call (or t=0).
+        """
+        dt = now - self._last_time
+        self._last_time = now
+        if dt <= 0.0:
+            return []
+        moved = self._step(dt)
+        for index, position in moved:
+            self.positions[index] = position
+        return moved
+
+    @abstractmethod
+    def _step(self, dt: float) -> List[Tuple[int, Position]]:
+        """Advance every node by ``dt`` seconds; return the moves."""
+
+    def _clamp(self, x: float, y: float) -> Position:
+        return Position(
+            min(max(x, 0.0), self.width_m),
+            min(max(y, 0.0), self.height_m),
+        )
+
+
+@register_mobility_model
+class StaticModel(MobilityModel):
+    """The default: nobody moves, nothing is drawn."""
+
+    name = "static"
+
+    def _step(self, dt: float) -> List[Tuple[int, Position]]:
+        return []
+
+
+class _WaypointLeg:
+    """One traveler's random-waypoint state (position, target, speed)."""
+
+    __slots__ = ("position", "target", "speed", "pause_left")
+
+    def __init__(self, position: Position) -> None:
+        self.position = position
+        self.target = position
+        self.speed = 0.0
+        self.pause_left = 0.0
+
+
+def _retarget(leg: _WaypointLeg, model: MobilityModel) -> None:
+    """Draw a fresh waypoint and travel speed for one leg."""
+    spec = model.spec
+    rng = model.rng
+    leg.target = Position(
+        rng.uniform(0.0, model.width_m), rng.uniform(0.0, model.height_m)
+    )
+    leg.speed = rng.uniform(spec.speed_min_mps, spec.speed_max_mps)
+
+
+def _advance_leg(leg: _WaypointLeg, dt: float, model: MobilityModel) -> bool:
+    """Move one leg by ``dt``; True if its position changed.
+
+    Pauses consume whole ticks (the discrete-tick approximation: a node
+    that reaches its waypoint rests for at least ``pause_s``, rounded up
+    to the update interval), so at most one waypoint/speed draw happens
+    per leg per tick -- the property that keeps stream consumption
+    deterministic under any chunking of the run.
+    """
+    if leg.pause_left > 0.0:
+        leg.pause_left = max(0.0, leg.pause_left - dt)
+        return False
+    position = leg.position
+    target = leg.target
+    remaining = position.distance_to(target)
+    step = leg.speed * dt
+    if step >= remaining:
+        leg.position = target
+        leg.pause_left = model.spec.pause_s
+        _retarget(leg, model)
+        return remaining > 0.0
+    scale = step / remaining
+    leg.position = model._clamp(
+        position.x + (target.x - position.x) * scale,
+        position.y + (target.y - position.y) * scale,
+    )
+    return True
+
+
+@register_mobility_model
+class RandomWaypointModel(MobilityModel):
+    """Independent random-waypoint travel for every node."""
+
+    name = "random-waypoint"
+
+    def __init__(self, spec, width_m, height_m, positions, rng) -> None:
+        super().__init__(spec, width_m, height_m, positions, rng)
+        self._legs: List[_WaypointLeg] = []
+        for position in self.positions:  # index order: draw determinism
+            leg = _WaypointLeg(position)
+            _retarget(leg, self)
+            self._legs.append(leg)
+
+    def _step(self, dt: float) -> List[Tuple[int, Position]]:
+        moved: List[Tuple[int, Position]] = []
+        for index, leg in enumerate(self._legs):
+            if _advance_leg(leg, dt, self):
+                moved.append((index, leg.position))
+        return moved
+
+
+@register_mobility_model
+class GaussMarkovModel(MobilityModel):
+    """AR(1)-correlated speed and heading (the Gauss-Markov model).
+
+    Per tick, each node updates ``v`` and ``theta`` as
+
+        ``v     = a v     + (1-a) v_mean  + sqrt(1-a^2) sigma_v z1``
+        ``theta = a theta + (1-a) th_mean + sqrt(1-a^2) sigma_th z2``
+
+    with ``a = spec.alpha``.  Near an arena edge (within one mean travel
+    distance) the node's mean heading is re-aimed at the arena center --
+    the standard boundary treatment -- and emitted positions are clamped
+    to the arena, so trajectories never leave it.
+    """
+
+    name = "gauss-markov"
+
+    #: Heading innovation scale (radians); pi/4 gives visible but
+    #: temporally smooth turning at alpha ~0.75.
+    _DIR_SIGMA = math.pi / 4.0
+
+    def __init__(self, spec, width_m, height_m, positions, rng) -> None:
+        super().__init__(spec, width_m, height_m, positions, rng)
+        self._mean_speed = 0.5 * (spec.speed_min_mps + spec.speed_max_mps)
+        self._speed_sigma = max(
+            0.25 * (spec.speed_max_mps - spec.speed_min_mps), 1e-3
+        )
+        self._speeds = [self._mean_speed] * len(self.positions)
+        self._headings = [
+            rng.uniform(0.0, 2.0 * math.pi) for _ in self.positions
+        ]
+        self._mean_headings = list(self._headings)
+
+    def _step(self, dt: float) -> List[Tuple[int, Position]]:
+        spec = self.spec
+        rng = self.rng
+        alpha = spec.alpha
+        blend = 1.0 - alpha
+        noise = math.sqrt(max(0.0, 1.0 - alpha * alpha))
+        margin = max(self._mean_speed * dt * 2.0, 1e-9)
+        center_x = 0.5 * self.width_m
+        center_y = 0.5 * self.height_m
+        moved: List[Tuple[int, Position]] = []
+        for index, position in enumerate(self.positions):
+            speed = (
+                alpha * self._speeds[index]
+                + blend * self._mean_speed
+                + noise * self._speed_sigma * rng.gauss(0.0, 1.0)
+            )
+            speed = min(max(speed, 0.0), spec.speed_max_mps)
+            heading = (
+                alpha * self._headings[index]
+                + blend * self._mean_headings[index]
+                + noise * self._DIR_SIGMA * rng.gauss(0.0, 1.0)
+            )
+            x = position.x + speed * math.cos(heading) * dt
+            y = position.y + speed * math.sin(heading) * dt
+            clamped = self._clamp(x, y)
+            near_edge = (
+                clamped.x < margin
+                or clamped.y < margin
+                or clamped.x > self.width_m - margin
+                or clamped.y > self.height_m - margin
+            )
+            if near_edge:
+                # Steer the mean heading back toward the arena center so
+                # the AR(1) pull points inward on the next ticks.
+                self._mean_headings[index] = math.atan2(
+                    center_y - clamped.y, center_x - clamped.x
+                )
+            self._speeds[index] = speed
+            self._headings[index] = heading
+            if clamped != position:
+                moved.append((index, clamped))
+        return moved
+
+
+@register_mobility_model
+class WaypointSwarmModel(MobilityModel):
+    """Reference-point group mobility over random-waypoint leaders.
+
+    Consecutive node indices form swarms of ``spec.swarm_size``; each
+    swarm's invisible reference point travels random-waypoint, and every
+    member keeps a fixed offset (drawn once, uniform in the
+    ``swarm_radius_m`` disk) from it.  Members are clamped to the arena,
+    so a swarm hugging a wall flattens against it instead of escaping.
+    """
+
+    name = "waypoint-swarm"
+
+    def __init__(self, spec, width_m, height_m, positions, rng) -> None:
+        super().__init__(spec, width_m, height_m, positions, rng)
+        size = spec.swarm_size
+        self._groups: List[Tuple[_WaypointLeg, List[int]]] = []
+        self._offsets: List[Tuple[float, float]] = [(0.0, 0.0)] * len(
+            self.positions
+        )
+        for start in range(0, len(self.positions), size):
+            members = list(range(start, min(start + size, len(self.positions))))
+            leg = _WaypointLeg(self.positions[start])
+            _retarget(leg, self)
+            for index in members:
+                # sqrt keeps the offsets uniform over the disk's area.
+                radius = spec.swarm_radius_m * math.sqrt(rng.random())
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                self._offsets[index] = (
+                    radius * math.cos(angle), radius * math.sin(angle)
+                )
+            self._groups.append((leg, members))
+
+    def _step(self, dt: float) -> List[Tuple[int, Position]]:
+        moved: List[Tuple[int, Position]] = []
+        for leg, members in self._groups:
+            if not _advance_leg(leg, dt, self):
+                continue
+            reference = leg.position
+            for index in members:
+                dx, dy = self._offsets[index]
+                position = self._clamp(reference.x + dx, reference.y + dy)
+                if position != self.positions[index]:
+                    moved.append((index, position))
+        return moved

@@ -1,12 +1,13 @@
 """The shared wireless broadcast medium.
 
 Every transmission is visible to every node whose *mean* received power
-clears an audibility cutoff (precomputed once -- nodes are static, per the
-mesh-network setting).  For each audible node the channel samples one
-fading realization, feeds the power into that node's carrier-sense and
-interference bookkeeping, and registers a pending reception if the faded
-power is decodable.  At end of transmission each pending reception is
-decided by the receiver's SINR rule.
+clears an audibility cutoff (precomputed while the topology holds; under
+mobility, re-derived per update tick via :meth:`invalidate_topology`).
+For each audible node the channel samples one fading realization, feeds
+the power into that node's carrier-sense and interference bookkeeping,
+and registers a pending reception if the faded power is decodable.  At
+end of transmission each pending reception is decided by the receiver's
+SINR rule.
 
 Subclasses can override :meth:`_sampled_power` to replace the
 pathloss-times-fading model; the testbed emulation uses this to drive the
@@ -100,7 +101,7 @@ class _VectorEntry:
 
 
 class WirelessChannel:
-    """Shared medium connecting a set of static nodes."""
+    """Shared medium connecting a set of (possibly mobile) nodes."""
 
     def __init__(
         self,
@@ -155,6 +156,20 @@ class WirelessChannel:
         self._vector_sampler = None
         self._vector_entries: Optional[Dict[int, _VectorEntry]] = None
         self._np = None
+        #: Per-link fading state archive for the vectorized backend:
+        #: sender id -> receiver id -> dumped sampler state.  The scalar
+        #: CorrelatedRayleighFading keeps every link's AR(1) state in a
+        #: dict it never prunes, so a link that leaves audibility and
+        #: later returns resumes its old state; this archive gives the
+        #: batched path the same memory so both backends stay
+        #: bit-identical under mobility-driven audibility churn.
+        self._vector_state_archive: Dict[int, Dict[int, tuple]] = {}
+        #: Persistent spatial index over node positions (large meshes
+        #: with an analytically bounded reach only); kept in sync by
+        #: note_position_change so topology re-derivations stay pruned.
+        self._grid: Optional[SpatialGridIndex] = None
+        self._grid_reach: Optional[float] = None
+        self._node_slots: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -166,42 +181,68 @@ class WirelessChannel:
         self.nodes.append(node)
 
     def finalize(self) -> None:
-        """Precompute per-sender audibility lists (static topology).
+        """Precompute per-sender audibility lists for the current layout.
 
-        Re-running ``finalize()`` is the only legal way to change the
-        topology, and it invalidates every derived cache (audibility
-        lists, the memoized connectivity map, the vectorized backend's
-        per-sender arrays -- whose per-link fading state is migrated by
-        receiver id, exactly as the scalar model's keyed dict survives a
-        re-finalize).
+        Re-running ``finalize()`` -- or, after position changes, the
+        cheaper :meth:`invalidate_topology` -- is the only legal way to
+        change the topology; both invalidate every derived cache
+        (audibility lists, the memoized connectivity map, the vectorized
+        backend's per-sender arrays -- whose per-link fading state is
+        migrated by receiver id, exactly as the scalar model's keyed
+        dict survives a re-finalize).
 
         On meshes of :data:`GRID_MIN_NODES` or more, the O(N^2) pairing
-        scan is pruned through a :class:`SpatialGridIndex` sized by the
-        propagation model's analytic range bound: the grid yields a
-        superset of each sender's in-range nodes (sorted by node index,
-        i.e. registration order), and the exact per-pair power test
-        below decides audibility just as in the brute scan -- the
-        resulting lists are bit-identical.
+        scan is pruned through a persistent :class:`SpatialGridIndex`
+        sized by the propagation model's analytic range bound: the grid
+        yields a superset of each sender's in-range nodes (sorted by
+        node index, i.e. registration order), and the exact per-pair
+        power test decides audibility just as in the brute scan -- the
+        resulting lists are bit-identical.  The grid is kept in sync
+        incrementally by :meth:`note_position_change` (an O(1)
+        re-bucket per move), so mobility ticks pay the pruned
+        re-derivation cost, never a full index rebuild.
         """
         nodes = self.nodes
-        candidates = None
+        self._node_slots = {
+            node.node_id: index for index, node in enumerate(nodes)
+        }
+        self._grid = None
+        self._grid_reach = None
         if len(nodes) >= GRID_MIN_NODES:
             reach = self._max_audible_range_m()
             if reach is not None:
-                grid = SpatialGridIndex(
+                self._grid = SpatialGridIndex(
                     [node.position for node in nodes], cell_size_m=reach
                 )
-                candidates = [
-                    grid.candidates_within(i, reach)
-                    for i in range(len(nodes))
-                ]
+                self._grid_reach = reach
+        self._rebuild_audible()
+        base_sampled_power = (
+            type(self)._sampled_power is WirelessChannel._sampled_power
+        )
+        self._deterministic_power = (
+            isinstance(self.fading, NoFading) and base_sampled_power
+        )
+        self._inline_fading = base_sampled_power
+        self._inactive_nodes = sum(
+            1 for node in nodes if not node.active
+        )
+        self._resolve_backend()
+        self._finalized = True
+
+    def _rebuild_audible(self) -> None:
+        """Re-derive every sender's audibility list from current positions."""
+        nodes = self.nodes
+        grid = self._grid
         self._audible = {}
         for index, sender in enumerate(nodes):
             audible: List[Tuple[Node, float, float]] = []
             pool = (
                 nodes
-                if candidates is None
-                else [nodes[j] for j in candidates[index]]
+                if grid is None
+                else [
+                    nodes[j]
+                    for j in grid.candidates_within(index, self._grid_reach)
+                ]
             )
             for receiver in pool:
                 if receiver is sender:
@@ -217,18 +258,41 @@ class WirelessChannel:
                     )
             self._audible[sender.node_id] = audible
         self._connectivity_cache = None
-        base_sampled_power = (
-            type(self)._sampled_power is WirelessChannel._sampled_power
-        )
-        self._deterministic_power = (
-            isinstance(self.fading, NoFading) and base_sampled_power
-        )
-        self._inline_fading = base_sampled_power
-        self._inactive_nodes = sum(
-            1 for node in nodes if not node.active
-        )
-        self._resolve_backend()
-        self._finalized = True
+
+    def note_position_change(self, node: Node) -> None:
+        """O(1) hook from ``Node.set_position``: re-bucket in the grid.
+
+        Keeps the persistent spatial index exact while a mobility tick
+        batches several moves; derived radio state stays stale until the
+        batch's single :meth:`invalidate_topology` call re-derives it.
+        """
+        if self._grid is not None:
+            self._grid.update_position(
+                self._node_slots[node.node_id], node.position
+            )
+
+    def invalidate_topology(self) -> None:
+        """Re-derive position-dependent state after nodes moved.
+
+        The mobility-path counterpart of ``finalize()``: recomputes the
+        audibility lists (through the incrementally maintained spatial
+        grid on large meshes), drops the memoized connectivity map, and
+        rebuilds the vectorized backend's per-sender arrays with
+        per-link fading state migrated by receiver id -- so a link that
+        leaves and later re-enters audibility resumes its correlated
+        fading exactly as the scalar model's never-pruned state dict
+        does.  Transmissions already in flight are untouched: their
+        power contributions were recorded at start time, and only
+        future transmissions see the new topology.
+        """
+        if not self._finalized:
+            raise ChannelError(
+                "channel not finalized; call finalize() before "
+                "invalidate_topology()"
+            )
+        self._rebuild_audible()
+        if self.phy_backend_resolved == "vectorized":
+            self._build_vector_entries()
 
     def _max_audible_range_m(self) -> Optional[float]:
         """Worst-case audibility radius, or ``None`` if unbounded.
@@ -315,10 +379,28 @@ class WirelessChannel:
         self.phy_backend_resolved = "vectorized"
 
     def _build_vector_entries(self) -> None:
-        """(Re)build per-sender batch arrays, migrating fading state."""
+        """(Re)build per-sender batch arrays, migrating fading state.
+
+        State flows through ``_vector_state_archive``: every old slot's
+        per-link state is dumped into the archive first (fresher slot
+        state overwrites older archive entries), then each new slot
+        loads whatever the archive holds for its receiver ids.  Links
+        absent from the new audible list keep their archived state, so
+        audibility churn under mobility preserves exactly the link
+        memory the scalar model's never-pruned ``(sender, receiver)``
+        dict would.
+        """
         np = self._np
         sampler = self._vector_sampler
+        archive = self._vector_state_archive
         previous = self._vector_entries or {}
+        for sender_id, old in previous.items():
+            saved = archive.setdefault(sender_id, {})
+            for rid, state in zip(
+                old.receiver_ids, sampler.dump_state(old.slot)
+            ):
+                if state is not None:
+                    saved[rid] = state
         entries: Dict[int, _VectorEntry] = {}
         for sender in self.nodes:
             audible = self._audible[sender.node_id]
@@ -330,15 +412,8 @@ class WirelessChannel:
                 rx_thr=np.array([thr for _, _, thr in audible]),
                 slot=sampler.new_slot(len(audible)),
             )
-            old = previous.get(sender.node_id)
-            if old is not None:
-                saved = {
-                    rid: state
-                    for rid, state in zip(
-                        old.receiver_ids, sampler.dump_state(old.slot)
-                    )
-                    if state is not None
-                }
+            saved = archive.get(sender.node_id)
+            if saved:
                 for position, rid in enumerate(entry.receiver_ids):
                     state = saved.get(rid)
                     if state is not None:
@@ -351,10 +426,17 @@ class WirelessChannel:
         self._inactive_nodes += -1 if active else 1
 
     def mean_rx_power_mw(self, sender: Node, receiver: Node) -> float:
-        """Mean (un-faded) received power for the sender->receiver link."""
-        return self.propagation.rx_power_mw(
+        """Mean (un-faded) received power for the sender->receiver link.
+
+        Goes through the propagation model's position-aware entry point
+        so geometry-sensitive models (obstacle shadowing) see the actual
+        endpoints; for plain models the base implementation reduces to
+        the identical distance-only computation.
+        """
+        return self.propagation.rx_power_mw_between(
             sender.params.tx_power_mw,
-            sender.distance_to(receiver),
+            sender.position,
+            receiver.position,
             sender.params.antenna_gain,
             receiver.params.antenna_gain,
         )
@@ -522,11 +604,12 @@ class WirelessChannel:
     def connectivity_map(self) -> Dict[int, List[int]]:
         """node -> neighbors whose mean power clears the receive threshold.
 
-        Memoized after :meth:`finalize`: the topology is static, so the
+        Memoized after :meth:`finalize`: while the topology holds, the
         O(n^2) scan happens once no matter how often benches poll it.
-        Invalidation rule: only re-running ``finalize()`` (the sole legal
-        topology change) clears the memo; callers must treat the returned
-        mapping as read-only.
+        Invalidation rule: re-running ``finalize()`` or calling
+        :meth:`invalidate_topology` after position changes (the two
+        legal topology changes) clears the memo; callers must treat the
+        returned mapping as read-only.
         """
         if self._connectivity_cache is None:
             self._connectivity_cache = {

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro.mac.csma import CsmaMac, MacConfig
-from repro.net.channel import WirelessChannel
+from repro.net.channel import PHY_BACKENDS, WirelessChannel
 from repro.net.node import Node
 from repro.net.topology import Position
 from repro.phy.fading import FadingModel, RayleighFading
@@ -48,6 +48,23 @@ class NetworkConfig:
     propagation: Optional[PropagationModel] = None
     fading: Optional[FadingModel] = None
     mac: MacConfig = field(default_factory=MacConfig)
+
+    def __post_init__(self) -> None:
+        # Fail at construction (spec load, config assembly) rather than
+        # deep inside begin_transmission's backend resolution.
+        if self.phy_backend not in PHY_BACKENDS:
+            import difflib
+
+            message = (
+                f"unknown phy_backend {self.phy_backend!r}; expected one "
+                f"of {PHY_BACKENDS}"
+            )
+            close = difflib.get_close_matches(
+                str(self.phy_backend), PHY_BACKENDS, n=1
+            )
+            if close:
+                message += f" (did you mean {close[0]!r}?)"
+            raise ValueError(message)
 
     def build_propagation(self) -> PropagationModel:
         return self.propagation or TwoRayGroundPropagation()

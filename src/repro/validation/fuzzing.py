@@ -36,6 +36,7 @@ from repro.experiments.results import RunResult
 from repro.experiments.runner import run_protocol
 from repro.experiments.scenarios import SimulationScenarioConfig
 from repro.experiments.spec import ExperimentSpec
+from repro.mobility.config import EnergySpec, MobilitySpec
 from repro.sim.rng import derive_seed
 from repro.telemetry.hub import TelemetryConfig
 from repro.validation.invariants import InvariantViolation, ValidationConfig
@@ -92,6 +93,24 @@ def random_spec(index: int, master_seed: int = 0) -> ExperimentSpec:
             )
         )
 
+    mobility = MobilitySpec()
+    if rng.random() < 0.35:
+        # A moving mesh exercises the whole invalidation pipeline
+        # (set_position -> grid re-bucket -> audibility re-derivation ->
+        # vectorized state migration) under every differential path.
+        mobility = MobilitySpec(
+            model=rng.choice(("random-waypoint", "gauss-markov")),
+            update_interval_s=rng.choice((0.5, 1.0)),
+            speed_min_mps=1.0,
+            speed_max_mps=float(rng.choice((10, 20))),
+            pause_s=rng.choice((0.0, 1.0)),
+        )
+    energy = EnergySpec()
+    if rng.random() < 0.15:
+        # Small batteries so some nodes actually die mid-run, driving
+        # churn through the same path the fault injector uses.
+        energy = EnergySpec(enabled=True, initial_j=rng.choice((0.5, 2.0)))
+
     side = float(rng.randint(450, 650))
     config = SimulationScenarioConfig(
         num_nodes=num_nodes,
@@ -103,6 +122,8 @@ def random_spec(index: int, master_seed: int = 0) -> ExperimentSpec:
         duration_s=duration_s,
         warmup_s=warmup_s,
         faults=FaultPlan(outages=tuple(outages), flapping=tuple(flapping)),
+        mobility=mobility,
+        energy=energy,
     )
     return ExperimentSpec(
         name=f"fuzz-{master_seed}-{index}",
@@ -313,5 +334,38 @@ def default_validation_spec() -> ExperimentSpec:
             members_per_group=3,
             duration_s=15.0,
             warmup_s=5.0,
+        ),
+    )
+
+
+def moving_validation_spec() -> ExperimentSpec:
+    """A moving-mesh mini-sweep: the default monitors under churn.
+
+    Complements :func:`default_validation_spec`: same small scale, but
+    nodes follow random-waypoint trajectories so forwarding state,
+    power-conservation, and rng-isolation get checked while audible
+    sets churn every tick.
+    """
+    return ExperimentSpec(
+        name="paper-mini-moving",
+        description=(
+            "paper protocols on a random-waypoint mesh, full monitor suite"
+        ),
+        protocols=("odmrp", "spp"),
+        seeds=(1,),
+        config=SimulationScenarioConfig(
+            num_nodes=12,
+            area_width_m=600.0,
+            area_height_m=600.0,
+            num_groups=1,
+            members_per_group=3,
+            duration_s=15.0,
+            warmup_s=5.0,
+            mobility=MobilitySpec(
+                model="random-waypoint",
+                update_interval_s=1.0,
+                speed_min_mps=2.0,
+                speed_max_mps=15.0,
+            ),
         ),
     )
