@@ -1,0 +1,285 @@
+"""Pluggable sweep executors: one lifecycle, many backends.
+
+Everything above the run level -- ``runner.compare_protocols``, the
+experiment spec runner, and the CLI -- schedules sweeps through the
+:class:`SweepExecutor` protocol instead of calling a process pool
+directly.  An executor owns the full lifecycle of one sweep:
+
+``submit(specs)``
+    Publish the work set.  For the local backend this just records the
+    specs; for the ``dir://`` backend it writes the sweep manifest into
+    the shared directory so external workers can discover it.
+``collect(progress)``
+    Drive the sweep to completion and return ordered
+    :class:`~repro.experiments.parallel.RunOutcome` objects -- one per
+    spec, in spec order, exactly like the plain and resilient executors
+    always have.
+``abort()`` / ``close()``
+    Tear down in-flight work / release resources.  Executors are
+    context managers; :meth:`SweepExecutor.execute` is the one-call
+    convenience used by ``compare_protocols``.
+
+Backends are addressed by URI:
+
+``local-pool``
+    Today's in-process execution, verbatim: the plain
+    :func:`~repro.experiments.parallel.execute_runs_detailed` pool
+    when no resilience knob is set, the supervised
+    :func:`~repro.experiments.resilience.execute_runs_resilient`
+    otherwise.  Bit-identical to the pre-refactor call paths.
+``dir://<shared-dir>``
+    The distributed backend (:mod:`repro.experiments.distributed`): a
+    lease-based work queue over a shared directory that any number of
+    worker processes -- spawned by the coordinator or started by hand
+    with ``repro worker`` on other hosts -- drain cooperatively.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.parallel import (
+    ProgressCallback,
+    RunOutcome,
+    RunSpec,
+    execute_runs_detailed,
+)
+from repro.experiments.resilience import (
+    ResilienceConfig,
+    RetryPolicy,
+    WorkerFn,
+    _execute_spec,
+    execute_runs_resilient,
+)
+
+LOCAL_POOL_KIND = "local-pool"
+DIR_KIND = "dir"
+
+#: URI spellings accepted for the local backend.
+_LOCAL_ALIASES = frozenset({"", "local-pool", "local", "pool"})
+
+
+class BackendError(ValueError):
+    """An unusable backend URI or backend/argument mismatch."""
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A parsed sweep backend address."""
+
+    kind: str
+    #: Shared sweep directory for ``dir`` backends; None for local.
+    root: Optional[str] = None
+
+    def uri(self) -> str:
+        if self.kind == DIR_KIND:
+            return f"dir://{self.root}"
+        return LOCAL_POOL_KIND
+
+
+def parse_backend(uri: Optional[str]) -> Backend:
+    """Parse a backend URI (``local-pool`` or ``dir://<shared-dir>``).
+
+    ``None`` and the empty string mean the default local pool, so specs
+    and CLI flags can simply omit the field.
+    """
+    if uri is None or uri in _LOCAL_ALIASES:
+        return Backend(kind=LOCAL_POOL_KIND)
+    if uri.startswith("dir://"):
+        root = uri[len("dir://"):]
+        if not root:
+            raise BackendError(
+                "dir:// backend needs a shared directory, e.g. "
+                "dir:///mnt/shared/sweep or dir://./sweepdir"
+            )
+        return Backend(kind=DIR_KIND, root=os.path.expanduser(root))
+    raise BackendError(
+        f"unknown sweep backend {uri!r}; expected 'local-pool' or "
+        "'dir://<shared-dir>'"
+    )
+
+
+class SweepExecutor:
+    """Lifecycle protocol every sweep backend implements.
+
+    Subclasses implement :meth:`submit` and :meth:`collect`;
+    :meth:`abort` and :meth:`close` are no-ops unless the backend holds
+    external resources (worker processes, claim files).
+    """
+
+    def submit(self, specs: Sequence[RunSpec]) -> None:
+        raise NotImplementedError
+
+    def collect(
+        self, progress: Optional[ProgressCallback] = None
+    ) -> List[RunOutcome]:
+        raise NotImplementedError
+
+    def abort(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def execute(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunOutcome]:
+        """submit + collect + close in one call."""
+        self.submit(specs)
+        try:
+            return self.collect(progress=progress)
+        finally:
+            self.close()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class LocalPoolExecutor(SweepExecutor):
+    """The in-process backend: plain pool, or supervised when asked.
+
+    ``resilience=None`` (and no journal/resume request) selects the
+    plain :func:`execute_runs_detailed` path -- no supervision
+    processes, no journal, exactly the historical fast path.  Setting
+    any of ``resilience``, ``journal_path``, or ``resume`` selects the
+    supervised :func:`execute_runs_resilient` path.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        use_cache: bool = False,
+        cache_dir: Optional[str] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        worker: Optional[WorkerFn] = None,
+    ) -> None:
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.cache_dir = cache_dir
+        self.resilience = resilience
+        self.journal_path = journal_path
+        self.resume = resume
+        self.worker = worker
+        self._specs: Optional[List[RunSpec]] = None
+
+    @property
+    def resilient(self) -> bool:
+        return (
+            self.resilience is not None
+            or self.journal_path is not None
+            or self.resume
+            or self.worker is not None
+        )
+
+    def submit(self, specs: Sequence[RunSpec]) -> None:
+        if self._specs is not None:
+            raise RuntimeError("executor already has a submitted sweep")
+        self._specs = list(specs)
+
+    def collect(
+        self, progress: Optional[ProgressCallback] = None
+    ) -> List[RunOutcome]:
+        if self._specs is None:
+            raise RuntimeError("collect() before submit()")
+        if self.resilient:
+            return execute_runs_resilient(
+                self._specs,
+                jobs=self.jobs,
+                use_cache=self.use_cache,
+                cache_dir=self.cache_dir,
+                progress=progress,
+                resilience=self.resilience,
+                journal_path=self.journal_path,
+                resume=self.resume,
+                worker=self.worker or _execute_spec,
+            )
+        return execute_runs_detailed(
+            self._specs,
+            jobs=self.jobs,
+            use_cache=self.use_cache,
+            cache_dir=self.cache_dir,
+            progress=progress,
+        )
+
+
+def create_executor(
+    backend: Optional[object] = None,
+    *,
+    jobs: Optional[int] = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    run_timeout_s: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    resume: bool = False,
+    journal_path: Optional[str] = None,
+    workers: Optional[int] = None,
+    lease_timeout_s: Optional[float] = None,
+    worker_fn: Optional[WorkerFn] = None,
+) -> SweepExecutor:
+    """Build the executor for a backend URI (or parsed :class:`Backend`).
+
+    For ``local-pool`` the resilient path engages exactly when a
+    resilience knob (``run_timeout_s`` / ``max_retries`` / ``resume`` /
+    ``journal_path``) is set, preserving ``compare_protocols``'s
+    historical routing bit-for-bit.  ``workers`` and
+    ``lease_timeout_s`` only apply to ``dir://`` backends.
+    """
+    parsed = (
+        backend if isinstance(backend, Backend)
+        else parse_backend(backend if backend is None else str(backend))
+    )
+    if parsed.kind == LOCAL_POOL_KIND:
+        resilient = (
+            run_timeout_s is not None
+            or max_retries is not None
+            or resume
+            or journal_path is not None
+            or worker_fn is not None
+        )
+        resilience = None
+        if resilient:
+            retry = (
+                RetryPolicy(max_retries=max_retries)
+                if max_retries is not None else RetryPolicy()
+            )
+            resilience = ResilienceConfig(
+                run_timeout_s=run_timeout_s, retry=retry
+            )
+        return LocalPoolExecutor(
+            jobs=jobs,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            resilience=resilience,
+            journal_path=journal_path,
+            resume=resume,
+            worker=worker_fn,
+        )
+    # Imported lazily: distributed pulls in telemetry + manifest
+    # machinery the plain local path never needs.
+    from repro.experiments.distributed import DirExecutor, LeaseConfig
+
+    lease_kwargs = {}
+    if lease_timeout_s is not None:
+        lease_kwargs["lease_timeout_s"] = lease_timeout_s
+    if run_timeout_s is not None:
+        lease_kwargs["run_timeout_s"] = run_timeout_s
+    if max_retries is not None:
+        lease_kwargs["max_retries"] = max_retries
+    assert parsed.root is not None
+    return DirExecutor(
+        root=parsed.root,
+        workers=workers if workers is not None else (jobs or 1),
+        lease=LeaseConfig(**lease_kwargs),
+        use_cache=use_cache,
+        resume=resume,
+        worker_fn=worker_fn or _execute_spec,
+    )

@@ -165,6 +165,19 @@ def _cache_path(cache_dir: str, key: str) -> str:
     return os.path.join(cache_dir, f"{key}.json")
 
 
+def cache_shard_dir(cache_dir: str, key: str) -> str:
+    """The shard directory for one cache key: ``<cache_dir>/<key[:2]>``.
+
+    The ``dir://`` backend keeps its shared result cache sharded by the
+    first two hex digits of the content hash (256-way fan-out), so a
+    fleet-sized sweep never piles tens of thousands of entries into one
+    directory on a network filesystem.  Each shard is an ordinary cache
+    directory: :func:`cache_load` / :func:`cache_store` (and their
+    atomicity and self-healing behavior) apply unchanged.
+    """
+    return os.path.join(cache_dir, key[:2])
+
+
 def _quarantine_cache_entry(path: str) -> None:
     """Move a damaged cache file aside (``<path>.corrupt``) or drop it.
 

@@ -217,6 +217,13 @@ class JournalRecord:
     elapsed_s: float
     failure_kind: Optional[str]
     result: Dict[str, Any]
+    #: Id of the worker that journaled the record (``dir://`` backend);
+    #: None for records written by the in-process supervisor.
+    worker: Optional[str] = None
+    #: True when the record replayed a shared-cache hit rather than an
+    #: execution (``dir://`` workers journal cache hits so the shared
+    #: journal is a complete completion ledger).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -233,12 +240,16 @@ class JournalRecord:
 class SweepJournal:
     """Append-only JSONL record of finished runs, keyed by cache key.
 
-    Every record is one line, flushed and fsync'd before the supervisor
-    moves on, so a sweep killed at any instant leaves at worst one
-    truncated *trailing* line -- which :meth:`replay` skips.  Records
-    are append-only; on replay the last record per key wins, so a
-    resumed sweep that re-runs a previously failed run simply appends
-    the new outcome.
+    Every record is a single ``os.write`` to an ``O_APPEND`` descriptor,
+    fsync'd before the supervisor moves on.  On a local filesystem an
+    O_APPEND write of one line is atomic, so concurrent writers (the
+    ``dir://`` backend's worker fleet sharing one journal) never
+    interleave bytes, and a sweep killed at any instant leaves at worst
+    one truncated *trailing* line -- which :meth:`replay` skips.
+    Records are append-only; on replay the last record per key wins, so
+    a resumed sweep that re-runs a previously failed run simply appends
+    the new outcome.  :meth:`compact` rewrites the file keeping only
+    the surviving record per key.
     """
 
     def __init__(self, path: str) -> None:
@@ -246,21 +257,25 @@ class SweepJournal:
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._handle = open(path, "a", encoding="utf-8")
+        self._fd: Optional[int] = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
 
     @staticmethod
     def default_path(cache_dir: Optional[str] = None) -> str:
         """The journal's home: ``<cache_dir>/journal.jsonl``."""
         return os.path.join(resolve_cache_dir(cache_dir), "journal.jsonl")
 
-    def record(
-        self,
+    @staticmethod
+    def build_record(
         spec: RunSpec,
         result: RunResult,
         attempts: int,
         elapsed_s: float,
         failure_kind: Optional[FailureKind] = None,
-    ) -> None:
+        worker: Optional[str] = None,
+        cached: bool = False,
+    ) -> Dict[str, Any]:
         record = {
             "schema": JOURNAL_SCHEMA_VERSION,
             "key": spec.cache_key(),
@@ -275,14 +290,117 @@ class SweepJournal:
             "written_unix": time.time(),
             "result": dataclasses.asdict(result),
         }
+        if worker is not None:
+            record["worker"] = worker
+        if cached:
+            record["cached"] = True
+        return record
+
+    @staticmethod
+    def _encode(record: Dict[str, Any]) -> bytes:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        return (line + "\n").encode("utf-8")
+
+    def record(
+        self,
+        spec: RunSpec,
+        result: RunResult,
+        attempts: int,
+        elapsed_s: float,
+        failure_kind: Optional[FailureKind] = None,
+        worker: Optional[str] = None,
+        cached: bool = False,
+    ) -> None:
+        if self._fd is None:
+            raise ValueError("journal is closed")
+        data = self._encode(self.build_record(
+            spec, result, attempts, elapsed_s, failure_kind,
+            worker=worker, cached=cached,
+        ))
+        os.write(self._fd, data)
+        os.fsync(self._fd)
+
+    @classmethod
+    def append_record(cls, path: str, record: Dict[str, Any]) -> None:
+        """Append one record with open-write-fsync-close semantics.
+
+        The ``dir://`` workers use this instead of a long-lived handle:
+        if another worker :meth:`compact`-replaces the journal inode
+        between two of our appends, a fresh open always lands on the
+        live file instead of the orphaned old inode.
+        """
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, cls._encode(record))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    @classmethod
+    def compact(cls, path: str) -> int:
+        """Atomically rewrite the journal keeping only surviving records.
+
+        A long resilient sweep accretes one line per *attempt* (retries
+        append, they don't replace) plus possibly one torn trailing
+        line; replay cost and disk grow without bound.  Compaction
+        keeps exactly the line that :meth:`replay` would surface for
+        each key -- the last valid record, byte-for-byte -- and drops
+        superseded attempts and damaged lines.  The rewrite goes
+        through a temp file + fsync + ``os.replace``, so a crash
+        mid-compaction leaves the original journal untouched.
+
+        Returns the number of lines dropped.  Call only when no other
+        process is appending (clean sweep completion).
+        """
+        try:
+            with open(path, "rb") as handle:
+                raw_lines = handle.readlines()
+        except OSError:
+            return 0
+        survivors: Dict[str, bytes] = {}
+        total = 0
+        for raw in raw_lines:
+            if not raw.strip():
+                continue
+            total += 1
+            try:
+                data = json.loads(raw)
+            except ValueError:
+                continue  # torn / garbled line: drop
+            if not isinstance(data, dict):
+                continue
+            if data.get("schema") != JOURNAL_SCHEMA_VERSION:
+                continue
+            key = data.get("key")
+            if not isinstance(key, str):
+                continue
+            # Preserve first-seen order; a retry overwrites in place.
+            survivors[key] = raw if raw.endswith(b"\n") else raw + b"\n"
+        dropped = total - len(survivors)
+        if dropped <= 0:
+            return 0
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.writelines(survivors.values())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return dropped
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "SweepJournal":
         return self
@@ -326,6 +444,8 @@ class SweepJournal:
                         elapsed_s=data["elapsed_s"],
                         failure_kind=data.get("failure_kind"),
                         result=data["result"],
+                        worker=data.get("worker"),
+                        cached=bool(data.get("cached", False)),
                     )
                 except KeyError:
                     continue
@@ -393,6 +513,102 @@ class _Active:
     attempt: int
     started: float
     deadline: Optional[float]
+
+
+def supervise_single_run(
+    spec: RunSpec,
+    attempt: int = 0,
+    worker: WorkerFn = _execute_spec,
+    run_timeout_s: Optional[float] = None,
+    kill_grace_s: float = 1.0,
+    poll_interval_s: float = 0.05,
+    on_poll: Optional[Callable[[], None]] = None,
+) -> Tuple[RunResult, float, Optional[FailureKind]]:
+    """Run one spec in its own supervised child; classify any failure.
+
+    The single-run core of :func:`execute_runs_resilient`'s supervision
+    loop, reusable by executors that schedule one run at a time (the
+    ``dir://`` backend's lease workers).  The child is the same
+    :func:`_child_main` shim the pooled supervisor uses, so chaos
+    injection, the ``ATTEMPT_ENV`` contract, and crash containment are
+    identical.  ``on_poll`` is invoked once per poll tick while the run
+    is in flight -- the lease-heartbeat hook; if it raises, the child is
+    put down before the exception propagates.
+
+    Returns ``(result, elapsed_s, failure_kind)`` where the kind is
+    ``None`` on success; error results carry the usual ``KIND:``
+    prefix.  Retry policy is the *caller's* job.
+    """
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_child_main, args=(child_conn, spec, attempt, worker),
+        daemon=True,
+    )
+    started = time.monotonic()
+    proc.start()
+    child_conn.close()
+    deadline = (
+        started + run_timeout_s if run_timeout_s is not None else None
+    )
+    payload = None
+    timed_out = False
+    try:
+        while True:
+            if parent_conn.poll(poll_interval_s):
+                try:
+                    payload = parent_conn.recv()
+                except (EOFError, OSError):
+                    payload = None  # died before reporting
+                break
+            if on_poll is not None:
+                on_poll()
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                break
+    finally:
+        try:
+            parent_conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if timed_out or payload is None:
+            _put_down(proc, kill_grace_s)
+        proc.join(5.0)
+        if proc.is_alive():  # pragma: no cover - stuck post-send
+            _put_down(proc, kill_grace_s)
+    elapsed = time.monotonic() - started
+    if timed_out:
+        detail = (
+            f"run exceeded the {run_timeout_s:.1f}s wall-clock budget; "
+            "worker terminated by the supervisor"
+        )
+        kind = FailureKind.TIMEOUT
+        return _error_result(spec, _prefixed_error(kind, detail)), \
+            elapsed, kind
+    if payload is None:
+        code = proc.exitcode
+        if code == -int(signal.SIGKILL):
+            kind = FailureKind.OOM
+            detail = (
+                "worker killed by SIGKILL before reporting a result "
+                "(likely the kernel OOM-killer)"
+            )
+        else:
+            kind = FailureKind.WORKER_CRASH
+            detail = (
+                f"worker process exited with code {code} before "
+                "reporting a result"
+            )
+        return _error_result(spec, _prefixed_error(kind, detail)), \
+            elapsed, kind
+    result, run_elapsed = payload
+    if result.error is not None:
+        kind = classify_failure(result.error) or FailureKind.EXCEPTION
+        result = dataclasses.replace(
+            result, error=_prefixed_error(kind, result.error)
+        )
+        return result, run_elapsed, kind
+    return result, run_elapsed, None
 
 
 # ----------------------------------------------------------------------
@@ -628,4 +844,8 @@ def execute_runs_resilient(
             f"{len(specs)} run(s) journaled to {path}; re-run with "
             "resume to continue"
         )
+    # Clean completion: every spec has a surviving record, so superseded
+    # retry lines (and any torn line inherited from a crashed ancestor
+    # sweep) are dead weight -- drop them.
+    SweepJournal.compact(path)
     return [outcome for outcome in outcomes if outcome is not None]

@@ -81,6 +81,15 @@ def export_run_telemetry(
             extra["attempt"] = int(attempt)
         except ValueError:
             pass
+    # Fleet provenance under the dir:// backend: which worker executed
+    # the run, against which shared sweep (distributed.WORKER_ID_ENV /
+    # BACKEND_ENV, inherited by the supervised run child).
+    worker_id = os.environ.get("REPRO_WORKER_ID")
+    if worker_id:
+        extra["worker_id"] = worker_id
+    backend = os.environ.get("REPRO_SWEEP_BACKEND")
+    if backend:
+        extra["backend"] = backend
     if scenario.spec is not None:
         # Provenance for sweep tooling: which registry binding ran.
         extra["protocol_spec"] = scenario.spec.to_record()
@@ -151,12 +160,17 @@ def compare_protocols(
     max_retries: Optional[int] = None,
     resume: bool = False,
     journal_path: Optional[str] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
     """The paper's comparison loop: every protocol on every topology.
 
-    ``jobs`` fans the (protocol, seed) grid out across worker processes
-    (``jobs<=0`` means one per CPU); every run is seed-deterministic, so
-    the returned list is identical to the serial one in both order and
+    Execution routes through the pluggable executor layer
+    (:mod:`repro.experiments.executors`).  The default ``local-pool``
+    backend preserves the historical behavior exactly: ``jobs`` fans
+    the (protocol, seed) grid out across worker processes (``jobs<=0``
+    means one per CPU); every run is seed-deterministic, so the
+    returned list is identical to the serial one in both order and
     content.  ``use_cache`` replays unchanged runs from the on-disk
     result cache (see :mod:`repro.experiments.parallel` for the key and
     its invalidation rule).
@@ -167,12 +181,19 @@ def compare_protocols(
     with no pool and no pickling requirement on the config.
 
     Setting any of ``run_timeout_s`` / ``max_retries`` / ``resume`` /
-    ``journal_path`` routes the sweep through the *resilient* executor
+    ``journal_path`` selects the *resilient* local executor
     (:mod:`repro.experiments.resilience`): every run gets its own
     supervised worker process with a wall-clock timeout, transient
     failures retry with backoff, finished runs are journaled, and
     ``resume=True`` replays previously completed runs instead of
-    re-simulating them.  Results stay bit-identical either way.
+    re-simulating them.
+
+    ``backend="dir://<shared-dir>"`` selects the distributed executor
+    (:mod:`repro.experiments.distributed`): the sweep is published into
+    the shared directory, ``workers`` local worker processes (plus any
+    external ``repro worker`` processes pointed at the same URI) drain
+    it via lease claims, and results aggregate incrementally as journal
+    records land.  Results stay bit-identical across all backends.
     """
     if config is None:
         config = SimulationScenarioConfig()
@@ -181,37 +202,23 @@ def compare_protocols(
     for name in protocols:
         protocol_by_name(name)
 
-    from repro.experiments.parallel import execute_runs, sweep_specs
+    from repro.experiments.executors import create_executor
+    from repro.experiments.parallel import sweep_specs
 
     specs = sweep_specs(config, tuple(protocols), tuple(topology_seeds))
-    resilient = (
-        run_timeout_s is not None or max_retries is not None
-        or resume or journal_path is not None
+    executor = create_executor(
+        backend,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        run_timeout_s=run_timeout_s,
+        max_retries=max_retries,
+        resume=resume,
+        journal_path=journal_path,
+        workers=workers,
     )
-    if resilient:
-        from repro.experiments.resilience import (
-            ResilienceConfig,
-            RetryPolicy,
-            execute_runs_resilient,
-        )
-
-        retry = (
-            RetryPolicy() if max_retries is None
-            else RetryPolicy(max_retries=max_retries)
-        )
-        outcomes = execute_runs_resilient(
-            specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-            progress=progress,
-            resilience=ResilienceConfig(
-                run_timeout_s=run_timeout_s, retry=retry,
-            ),
-            journal_path=journal_path, resume=resume,
-        )
-        return [outcome.result for outcome in outcomes]
-    return execute_runs(
-        specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-        progress=progress,
-    )
+    outcomes = executor.execute(specs, progress=progress)
+    return [outcome.result for outcome in outcomes]
 
 
 def run_experiment(
@@ -220,6 +227,7 @@ def run_experiment(
     cache_dir: Optional[str] = None,
     resume: bool = False,
     journal_path: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
     """Execute a declarative :class:`~repro.experiments.spec.ExperimentSpec`.
 
@@ -255,6 +263,8 @@ def run_experiment(
             max_retries=spec.max_retries,
             resume=resume,
             journal_path=journal_path,
+            backend=spec.backend,
+            workers=workers,
         )
         if not label_suffix:
             return results

@@ -274,6 +274,10 @@ class ExperimentSpec:
     #: label results ``protocol@model``.  Empty = no axis, the spec's
     #: ``config.mobility`` applies as-is.
     mobility_models: Tuple[str, ...] = ()
+    #: Sweep execution backend URI: ``"local-pool"`` (default, this
+    #: process's pool) or ``"dir://<shared-dir>"`` (the distributed
+    #: lease-queue backend; see :mod:`repro.experiments.distributed`).
+    backend: str = "local-pool"
     config: SimulationScenarioConfig = field(
         default_factory=SimulationScenarioConfig
     )
@@ -311,6 +315,12 @@ class ExperimentSpec:
                 f"max_retries must be a non-negative integer, "
                 f"got {self.max_retries!r}"
             )
+        from repro.experiments.executors import BackendError, parse_backend
+
+        try:
+            parse_backend(self.backend)
+        except BackendError as exc:
+            raise SpecError(str(exc)) from exc
         self.resolve_protocols()
         from repro.mobility.models import mobility_model_by_name
 
@@ -352,7 +362,11 @@ class ExperimentSpec:
             f"{self.config.members_per_group} members",
             f"execution: jobs={self.jobs} "
             f"cache={'on' if self.use_cache else 'off'} "
-            f"telemetry={'on' if self.config.telemetry.enabled else 'off'}",
+            f"telemetry={'on' if self.config.telemetry.enabled else 'off'}"
+            + (
+                f" backend={self.backend}"
+                if self.backend != "local-pool" else ""
+            ),
         ]
         if self.run_timeout_s is not None or self.max_retries is not None:
             timeout = (
@@ -396,6 +410,8 @@ class ExperimentSpec:
             data["max_retries"] = self.max_retries
         if self.mobility_models:
             data["mobility_models"] = list(self.mobility_models)
+        if self.backend != "local-pool":
+            data["backend"] = self.backend
         data["config"] = config_to_dict(self.config)
         return data
 
@@ -412,7 +428,7 @@ class ExperimentSpec:
         known = {
             "schema", "name", "description", "protocols", "seeds",
             "jobs", "use_cache", "run_timeout_s", "max_retries",
-            "mobility_models", "config",
+            "mobility_models", "backend", "config",
         }
         unknown = set(data) - known
         if unknown:
@@ -422,7 +438,7 @@ class ExperimentSpec:
             )
         kwargs: Dict[str, Any] = {}
         for key in ("name", "description", "jobs", "use_cache",
-                    "run_timeout_s", "max_retries"):
+                    "run_timeout_s", "max_retries", "backend"):
             if key in data:
                 kwargs[key] = data[key]
         if "protocols" in data:
@@ -495,6 +511,7 @@ class ExperimentSpec:
         run_timeout_s: Optional[float] = None,
         max_retries: Optional[int] = None,
         mobility_models: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
     ) -> "ExperimentSpec":
         """A copy with CLI-style overrides applied (None = keep)."""
         return dataclasses.replace(
@@ -510,6 +527,7 @@ class ExperimentSpec:
             else run_timeout_s,
             max_retries=self.max_retries if max_retries is None
             else max_retries,
+            backend=self.backend if backend is None else backend,
         )
 
 

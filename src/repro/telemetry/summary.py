@@ -43,6 +43,14 @@ def manifest_lines(trace: TelemetryTrace) -> List[str]:
         f"events   : {len(trace.events)} recorded, "
         f"{trace.events_dropped} dropped",
     ]
+    extra = manifest.extra or {}
+    if extra.get("worker_id") or extra.get("backend"):
+        # dir:// fleet provenance: which worker produced this trace,
+        # against which shared sweep.
+        lines.append(
+            f"worker   : {extra.get('worker_id', '?')} "
+            f"backend={extra.get('backend', 'local-pool')}"
+        )
     return lines
 
 

@@ -82,11 +82,12 @@ def test_mobile_flood_500_nodes_completes():
 
 @pytest.mark.perfsmoke
 def test_seed_determinism_matrix(tmp_path):
-    """jobs x cache matrix: every cell aggregates to identical rows.
+    """jobs x cache x backend matrix: every cell aggregates identically.
 
-    The serial, no-cache sweep is the oracle; pools of 2 and 4 workers
-    and cold/warm cache replays (themselves at different job counts)
-    must reproduce its aggregates exactly -- not approximately.
+    The serial, no-cache sweep is the oracle; pools of 2 and 4 workers,
+    cold/warm cache replays (themselves at different job counts), and a
+    two-worker ``dir://`` distributed drain must reproduce its
+    aggregates exactly -- not approximately.
     """
     config = SimulationScenarioConfig(
         num_nodes=10,
@@ -117,3 +118,17 @@ def test_seed_determinism_matrix(tmp_path):
                          cache_dir=cache_dir)
         )
         assert warm == baseline, f"warm cache (jobs={jobs}) diverged"
+
+    # Backend axis: the same sweep drained by two dir:// workers over a
+    # shared directory must aggregate identically to the serial oracle.
+    from repro.experiments.distributed import DirExecutor, LeaseConfig
+
+    outcomes = DirExecutor(
+        str(tmp_path / "matrix-shared"), workers=2,
+        lease=LeaseConfig(lease_timeout_s=60.0,
+                          heartbeat_interval_s=1.0,
+                          poll_interval_s=0.1),
+        use_cache=False,
+    ).execute(specs)
+    distributed = aggregate_runs([o.result for o in outcomes])
+    assert distributed == baseline, "dir:// backend diverged from serial"

@@ -351,6 +351,102 @@ class TestJournal:
         assert record.to_run_result() is None
 
 
+class TestJournalCompaction:
+    def _failed(self, spec):
+        result = _quick_result(spec, delivered=0)
+        result.delivered_bytes = 0
+        result.error = "TIMEOUT: first try"
+        return result
+
+    def test_compact_keeps_only_surviving_records(self, tmp_path):
+        """Regression: a journal with retries plus a torn trailing line
+        compacts to exactly the surviving record per key."""
+        path = str(tmp_path / "journal.jsonl")
+        specs = _specs(2)
+        with SweepJournal(path) as journal:
+            journal.record(specs[0], self._failed(specs[0]), attempts=1,
+                           elapsed_s=0.5,
+                           failure_kind=FailureKind.TIMEOUT)
+            journal.record(specs[0], _quick_result(specs[0]),
+                           attempts=2, elapsed_s=0.7)
+            journal.record(specs[1], _quick_result(specs[1]),
+                           attempts=1, elapsed_s=0.3)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "key": "abc", "trunc')
+        before = SweepJournal.replay(path)
+        dropped = SweepJournal.compact(path)
+        assert dropped == 2  # the superseded attempt + the torn line
+        with open(path, "rb") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 2
+        # Replay semantics are unchanged, byte-for-byte.
+        assert SweepJournal.replay(path) == before
+        assert SweepJournal.replay(path)[specs[0].cache_key()].attempts \
+            == 2
+
+    def test_compact_with_nothing_to_drop_leaves_the_file_alone(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "journal.jsonl")
+        [spec] = _specs(1)
+        with SweepJournal(path) as journal:
+            journal.record(spec, _quick_result(spec), attempts=1,
+                           elapsed_s=0.1)
+        with open(path, "rb") as handle:
+            before = handle.read()
+        assert SweepJournal.compact(path) == 0
+        with open(path, "rb") as handle:
+            assert handle.read() == before
+
+    def test_compact_missing_journal_is_a_noop(self, tmp_path):
+        assert SweepJournal.compact(str(tmp_path / "nope.jsonl")) == 0
+
+    def _preseed_superseded(self, journal, spec):
+        """A failed earlier attempt that a fresh record will shadow."""
+        with SweepJournal(journal) as handle:
+            handle.record(spec, self._failed(spec), attempts=1,
+                          elapsed_s=0.5,
+                          failure_kind=FailureKind.TIMEOUT)
+
+    def test_clean_completion_autocompacts(self, tmp_path):
+        """On clean completion the executor compacts the journal:
+        superseded records (here a pre-seeded failed attempt) are
+        dropped, leaving one line per run."""
+        journal = str(tmp_path / "journal.jsonl")
+        specs = _specs(2)
+        self._preseed_superseded(journal, specs[0])
+        outcomes = _run(specs, ok_worker, journal)
+        assert all(o.result.error is None for o in outcomes)
+        with open(journal, "rb") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == len(specs)
+        assert SweepJournal.replay(journal)[specs[0].cache_key()].ok
+
+    def test_interrupted_sweep_does_not_compact(self, tmp_path):
+        """A drained-on-SIGINT journal keeps its full history; only a
+        *completed* sweep compacts."""
+        journal = str(tmp_path / "journal.jsonl")
+        specs = _specs(3)
+        self._preseed_superseded(journal, specs[0])
+        completions = {"count": 0}
+
+        def interrupt_after_first(protocol: str, seed: int) -> None:
+            completions["count"] += 1
+            if completions["count"] == 1:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        with pytest.raises(KeyboardInterrupt):
+            execute_runs_resilient(
+                specs, jobs=1, resilience=FAST, journal_path=journal,
+                progress=interrupt_after_first, worker=ok_worker,
+            )
+        # The superseded pre-seeded line survives the interrupt.
+        with open(journal, "rb") as handle:
+            lines = [line for line in handle if line.strip()]
+        records = SweepJournal.replay(journal)
+        assert len(lines) > len(records)
+
+
 class TestResume:
     def test_resume_replays_completed_and_runs_the_rest(self, tmp_path):
         journal = str(tmp_path / "journal.jsonl")
