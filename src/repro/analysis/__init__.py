@@ -5,13 +5,31 @@ from repro.analysis.charts import (
     render_grouped_chart,
     render_sparkline,
 )
-from repro.analysis.stats import confidence_interval_95, mean, stddev
+from repro.analysis.stats import (
+    WelchResult,
+    ci_half_width,
+    confidence_interval,
+    confidence_interval_95,
+    mean,
+    paired_difference_ci,
+    stddev,
+    t_critical,
+    unpaired_difference_ci,
+    welch_t_test,
+)
 from repro.analysis.tables import render_comparison, render_table
 
 __all__ = [
     "mean",
     "stddev",
+    "confidence_interval",
     "confidence_interval_95",
+    "ci_half_width",
+    "t_critical",
+    "WelchResult",
+    "welch_t_test",
+    "unpaired_difference_ci",
+    "paired_difference_ci",
     "render_table",
     "render_comparison",
     "render_bar_chart",

@@ -282,6 +282,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         mobility_models=_parse_csv(args.mobility_models),
         backend=args.backend,
     )
+    if getattr(args, "adaptive", False) and spec.adaptive is None:
+        from dataclasses import replace
+
+        from repro.experiments.adaptive import AdaptiveConfig
+
+        spec = replace(spec, adaptive=AdaptiveConfig())
     if getattr(args, "telemetry_dir", None):
         from dataclasses import replace
 
@@ -303,15 +309,29 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 0
 
     print()
+    plan = None
     try:
-        runs = run_experiment(
-            spec,
-            progress=lambda protocol, seed: print(
-                f"  running {protocol} seed={seed} ...", flush=True
-            ),
-            resume=args.resume,
-            workers=args.workers,
-        )
+        if spec.adaptive is not None:
+            from repro.experiments.adaptive import run_adaptive_experiment
+
+            plan = run_adaptive_experiment(
+                spec,
+                progress=lambda protocol, seed: print(
+                    f"  running {protocol} seed={seed} ...", flush=True
+                ),
+                resume=args.resume,
+                workers=args.workers,
+            )
+            runs = plan.runs
+        else:
+            runs = run_experiment(
+                spec,
+                progress=lambda protocol, seed: print(
+                    f"  running {protocol} seed={seed} ...", flush=True
+                ),
+                resume=args.resume,
+                workers=args.workers,
+            )
     except KeyboardInterrupt as interrupt:
         # The resilient executor drains and journals before raising, so
         # tell the user how to pick the sweep back up.
@@ -323,7 +343,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 130
     if not _warn_failed_runs(runs):
         return 1
-    report = render_report(runs, title=spec.name)
+    report = render_report(runs, title=spec.name, adaptive=plan)
     print()
     print(report)
     if args.report:
@@ -622,6 +642,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retry budget for transient failures -- "
                           "timeouts, worker crashes, OOM kills (enables "
                           "the resilient supervisor)")
+    run.add_argument("--adaptive", action="store_true",
+                     help="run under the sequential planner: seeds in "
+                          "batches, CI-driven stopping per protocol, "
+                          "paired common-random-number comparisons "
+                          "(defaults apply unless the spec has an "
+                          "[adaptive] section)")
     run.add_argument("--resume", action="store_true",
                      help="replay completed runs from the sweep journal "
                           "(.repro_cache/runs/journal.jsonl) and execute "

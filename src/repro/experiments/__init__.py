@@ -14,8 +14,16 @@
   durable journal enabling ``repro run --resume``.
 * :mod:`repro.experiments.chaos` -- fault injection harness asserting
   the supervisor recovers (``repro chaos`` / ``pytest -m chaos``).
+* :mod:`repro.experiments.adaptive` -- sequential seed allocation with
+  CI-driven stopping and paired common-random-number comparisons
+  (``repro run --adaptive``).
 """
 
+from repro.experiments.adaptive import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    run_adaptive_experiment,
+)
 from repro.experiments.faults import (
     FailureInjector,
     FaultPlan,
@@ -55,6 +63,9 @@ from repro.experiments.spec import (
 )
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "run_adaptive_experiment",
     "SimulationScenarioConfig",
     "SimulationScenario",
     "build_simulation_scenario",

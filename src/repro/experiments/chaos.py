@@ -293,6 +293,11 @@ def run_chaos(
        holding a lease (with its run child hung) must leave a lease
        that expires, gets reclaimed by a rescue worker, and the rescued
        sweep's results must be bit-identical to the baseline.
+    7. *adaptive mid-batch kill* -- an adaptive sweep interrupted while
+       a batch is in flight must drain, journal consistently, and a
+       ``resume`` pass must replay into the *identical* batch-by-batch
+       plan (stopping decisions, seeds spent, and run results all
+       bit-identical to a clean adaptive run).
     """
     report = ChaosReport()
     say = log or (lambda message: None)
@@ -606,6 +611,86 @@ def run_chaos(
         "dir-identical", dir_identical,
         "rescued distributed sweep bit-identical to baseline"
         if dir_identical else "distributed results diverged from baseline",
+    )
+
+    # -- Phase 7: adaptive plan survives a mid-batch kill -----------------
+    say("chaos: adaptive mid-batch interrupt + resume ...")
+    from repro.experiments.adaptive import (
+        AdaptiveConfig,
+        replay_plan,
+        run_adaptive_experiment,
+    )
+    from repro.experiments.spec import ExperimentSpec
+
+    adaptive_spec = ExperimentSpec(
+        name="chaos-adaptive",
+        protocols=protocols,
+        seeds=seeds,
+        jobs=1,
+        # Engages the resilient executor: supervised workers + journal,
+        # so the interrupt below kills a real run child mid-batch.
+        run_timeout_s=timeout_s,
+        adaptive=AdaptiveConfig(
+            target_half_width=0.25, batch_size=1, min_seeds=1, max_seeds=2,
+        ),
+        config=config,
+    )
+    clean_plan = run_adaptive_experiment(
+        adaptive_spec, cache_dir=cache_dir,
+        journal_path=os.path.join(work_dir, "adaptive-clean.jsonl"),
+    )
+    adaptive_journal = os.path.join(work_dir, "adaptive.jsonl")
+    adaptive_completions = {"count": 0}
+
+    def adaptive_interrupt(protocol: str, seed: int) -> None:
+        adaptive_completions["count"] += 1
+        if adaptive_completions["count"] == 1:
+            os.kill(os.getpid(), signal.SIGINT)
+
+    adaptive_interrupted = False
+    try:
+        run_adaptive_experiment(
+            adaptive_spec, cache_dir=cache_dir,
+            journal_path=adaptive_journal, progress=adaptive_interrupt,
+        )
+    except KeyboardInterrupt:
+        adaptive_interrupted = True
+    partial = SweepJournal.replay(adaptive_journal)
+    report.add(
+        "adaptive-interrupt-drains",
+        adaptive_interrupted and len(partial) >= 1
+        and all(record.ok for record in partial.values()),
+        f"interrupted={adaptive_interrupted}, {len(partial)} run(s) "
+        "journaled mid-batch",
+    )
+    resumed_plan = run_adaptive_experiment(
+        adaptive_spec, cache_dir=cache_dir,
+        journal_path=adaptive_journal, resume=True,
+    )
+    plan_identical = (
+        resumed_plan.plan_dict() == clean_plan.plan_dict()
+        and resumed_plan.runs == clean_plan.runs
+    )
+    report.add(
+        "adaptive-resume-identical", plan_identical,
+        "resumed adaptive plan bit-identical to the clean plan"
+        if plan_identical else "resumed adaptive plan diverged",
+    )
+    journaled_plan = replay_plan(adaptive_journal, adaptive_spec.name)
+    plan_journaled = [
+        {key: record[key] for key in
+         ("batch", "seeds", "protocols", "decisions")}
+        for record in journaled_plan
+    ] == [
+        {"batch": batch["batch"], "seeds": batch["seeds"],
+         "protocols": batch["protocols"], "decisions": batch["decisions"]}
+        for batch in resumed_plan.plan_dict()["batches"]
+    ]
+    report.add(
+        "adaptive-plan-journaled", plan_journaled,
+        f"{len(journaled_plan)} per-batch stopping decision(s) in the "
+        "journal match the resumed plan"
+        if plan_journaled else "journaled plan records diverged",
     )
     say("chaos: done")
     return report

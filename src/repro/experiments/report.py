@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.stats import confidence_interval_95, mean
+from repro.experiments.adaptive import AdaptiveResult
 from repro.experiments.results import (
     RunResult,
     aggregate_runs,
@@ -170,11 +171,57 @@ def diagnostics_section(runs: Sequence[RunResult]) -> str:
     )
 
 
+def adaptive_section(plan: AdaptiveResult) -> str:
+    """The sequential planner's outcome: seeds spent, achieved CI
+    width against the target, and the paired-CRN gain per protocol."""
+    decisions = plan.final_decisions()
+    comparisons = {c.protocol: c for c in plan.paired_comparisons()}
+    rows = []
+    for name in _ordered(list(decisions)):
+        decision = decisions[name]
+        comparison = comparisons.get(name)
+        if comparison is None:
+            delta_cell = "baseline" if name == plan.baseline else "-"
+            gain_cell = "-"
+        else:
+            delta_cell = (
+                f"[{comparison.paired_low:+.3f}, "
+                f"{comparison.paired_high:+.3f}]"
+            )
+            gain_cell = f"{comparison.gain_pct:.0f}%"
+        rows.append((
+            name,
+            decision.seeds_spent,
+            f"{decision.normalized_mean:.3f}",
+            f"{decision.ci_half_width:.3f}",
+            decision.reason or "-",
+            delta_cell,
+            gain_cell,
+        ))
+    header = (
+        "### Adaptive plan\n\n"
+        f"Sequential seed allocation, target CI half-width "
+        f"{plan.config.target_half_width:g} (normalized units), "
+        f"batches of {plan.config.batch_size}, seeds "
+        f"{plan.config.min_seeds}..{plan.config.max_seeds} per protocol, "
+        f"paired common random numbers "
+        f"{'on' if plan.config.paired else 'off'}; "
+        f"{plan.total_runs} runs total vs "
+        f"{len(decisions) * plan.config.max_seeds} exhaustive.\n\n"
+    )
+    return header + markdown_table(
+        ("protocol", "seeds", "normalized", "CI half-width", "stop",
+         f"paired delta vs {plan.baseline}", "pairing gain"),
+        rows,
+    )
+
+
 def render_report(
     runs: Sequence[RunResult],
     title: str = "Experiment report",
     paper_throughput: Optional[Mapping[str, float]] = None,
     paper_overhead: Optional[Mapping[str, float]] = None,
+    adaptive: Optional[AdaptiveResult] = None,
 ) -> str:
     """A complete markdown report for one sweep's runs."""
     if not runs:
@@ -213,4 +260,6 @@ def render_report(
         overhead_section(runs, paper_overhead),
         diagnostics_section(runs),
     ]
+    if adaptive is not None:
+        sections.insert(1, adaptive_section(adaptive))
     return "\n\n".join(sections) + "\n"

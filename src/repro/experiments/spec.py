@@ -44,6 +44,7 @@ from typing import (
     get_type_hints,
 )
 
+from repro.experiments.adaptive import AdaptiveConfig
 from repro.experiments.scenarios import (
     PROTOCOL_NAMES,
     SimulationScenarioConfig,
@@ -278,6 +279,12 @@ class ExperimentSpec:
     #: process's pool) or ``"dir://<shared-dir>"`` (the distributed
     #: lease-queue backend; see :mod:`repro.experiments.distributed`).
     backend: str = "local-pool"
+    #: Optional ``[adaptive]`` section: run the sweep under the
+    #: sequential planner (:mod:`repro.experiments.adaptive`) -- seeds
+    #: in batches, CI-driven stopping per protocol, paired
+    #: common-random-number comparisons.  ``None`` keeps the exhaustive
+    #: grid; ``repro run --adaptive`` fills in the defaults.
+    adaptive: Optional[AdaptiveConfig] = None
     config: SimulationScenarioConfig = field(
         default_factory=SimulationScenarioConfig
     )
@@ -322,6 +329,22 @@ class ExperimentSpec:
         except BackendError as exc:
             raise SpecError(str(exc)) from exc
         self.resolve_protocols()
+        if self.adaptive is not None:
+            try:
+                self.adaptive.validate()
+            except ValueError as exc:
+                raise SpecError(str(exc)) from exc
+            if self.mobility_models:
+                raise SpecError(
+                    "adaptive sweeps do not combine with a "
+                    "mobility_models axis; run one model per spec"
+                )
+            baseline = self.adaptive.baseline
+            if baseline is not None and baseline not in self.protocols:
+                raise SpecError(
+                    f"adaptive.baseline {baseline!r} is not among the "
+                    f"spec's protocols {list(self.protocols)}"
+                )
         from repro.mobility.models import mobility_model_by_name
 
         for model in self.mobility_models:
@@ -368,6 +391,19 @@ class ExperimentSpec:
                 if self.backend != "local-pool" else ""
             ),
         ]
+        if self.adaptive is not None:
+            lines.append(
+                f"adaptive: target-half-width="
+                f"{self.adaptive.target_half_width:g} "
+                f"batch={self.adaptive.batch_size} "
+                f"seeds {self.adaptive.min_seeds}.."
+                f"{self.adaptive.max_seeds} "
+                f"paired={'on' if self.adaptive.paired else 'off'}"
+                + (
+                    f" baseline={self.adaptive.baseline}"
+                    if self.adaptive.baseline else ""
+                )
+            )
         if self.run_timeout_s is not None or self.max_retries is not None:
             timeout = (
                 f"{self.run_timeout_s:g}s" if self.run_timeout_s is not None
@@ -412,6 +448,8 @@ class ExperimentSpec:
             data["mobility_models"] = list(self.mobility_models)
         if self.backend != "local-pool":
             data["backend"] = self.backend
+        if self.adaptive is not None:
+            data["adaptive"] = _plain(self.adaptive, "adaptive")
         data["config"] = config_to_dict(self.config)
         return data
 
@@ -428,7 +466,7 @@ class ExperimentSpec:
         known = {
             "schema", "name", "description", "protocols", "seeds",
             "jobs", "use_cache", "run_timeout_s", "max_retries",
-            "mobility_models", "backend", "config",
+            "mobility_models", "backend", "adaptive", "config",
         }
         unknown = set(data) - known
         if unknown:
@@ -447,6 +485,10 @@ class ExperimentSpec:
             kwargs["seeds"] = tuple(data["seeds"])
         if "mobility_models" in data:
             kwargs["mobility_models"] = tuple(data["mobility_models"])
+        if "adaptive" in data:
+            kwargs["adaptive"] = _build_dataclass(
+                AdaptiveConfig, data["adaptive"], "adaptive"
+            )
         if "config" in data:
             kwargs["config"] = config_from_dict(data["config"])
         return cls(**kwargs)

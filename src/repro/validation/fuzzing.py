@@ -175,7 +175,8 @@ def differential_check(
     """Run ``spec`` through every execution path; describe divergences.
 
     The serial in-process sweep is the oracle.  Each alternate path --
-    a process pool, a cold-then-warm cache, a telemetry-enabled serial
+    a process pool, the adaptive sequential planner capped to the same
+    seed pool, a cold-then-warm cache, a telemetry-enabled serial
     pass, and one forced-``phy_backend`` serial pass per entry in
     ``phy_backends`` -- must reproduce the oracle's :class:`RunResult`
     rows bit-for-bit (the telemetry pass is compared with its artifact
@@ -206,6 +207,8 @@ def differential_check(
     divergence = _first_difference(f"jobs={jobs}", baseline, pooled)
     if divergence:
         errors.append(divergence)
+
+    errors.extend(_adaptive_differences(spec, baseline))
 
     if phy_backends and spec.config.network.phy_backend == "auto":
         try:
@@ -267,6 +270,60 @@ def differential_check(
         if divergence:
             errors.append(divergence)
 
+    return errors
+
+
+def _adaptive_differences(
+    spec: ExperimentSpec, baseline: Sequence[RunResult]
+) -> List[str]:
+    """The adaptive axis: the sequential planner, capped to the spec's
+    own seed pool, must agree bit-for-bit with the exhaustive grid on
+    every (protocol, seed) cell both of them executed.  The planner may
+    legitimately execute *fewer* cells (that is its job); executing a
+    cell outside the exhaustive grid, or producing a different result
+    for a shared cell, is a determinism violation.
+    """
+    from repro.experiments.adaptive import (
+        AdaptiveConfig,
+        run_adaptive_experiment,
+    )
+
+    adaptive_spec = dataclasses.replace(
+        spec,
+        adaptive=AdaptiveConfig(
+            target_half_width=0.25,
+            batch_size=1,
+            min_seeds=1,
+            max_seeds=len(spec.seeds),
+            paired=True,
+        ),
+    )
+    plan = run_adaptive_experiment(adaptive_spec)
+    expected = {
+        (run.protocol, run.topology_seed): run for run in baseline
+    }
+    errors: List[str] = []
+    for run in plan.runs:
+        cell = (run.protocol, run.topology_seed)
+        want = expected.get(cell)
+        if want is None:
+            errors.append(
+                f"adaptive: executed ({run.protocol}, seed "
+                f"{run.topology_seed}) which is outside the exhaustive "
+                "grid"
+            )
+            continue
+        if run != want:
+            fields = [
+                f.name
+                for f in dataclasses.fields(want)
+                if getattr(want, f.name) != getattr(run, f.name)
+            ]
+            errors.append(
+                f"adaptive: run ({run.protocol}, seed "
+                f"{run.topology_seed}) diverged in field(s) {fields}: "
+                f"baseline={want!r} candidate={run!r}"
+            )
     return errors
 
 

@@ -1,0 +1,67 @@
+"""Regenerate ``golden_adaptive_plan.json``.
+
+Run after an *intentional* change to the adaptive planner's seed
+allocation, stopping rule, or plan schema::
+
+    PYTHONPATH=src python tests/data/make_golden_adaptive_plan.py
+
+The spec here must stay in lockstep with ``tiny_spec()`` in
+``tests/test_adaptive_sweep.py`` -- the test rebuilds the same sweep
+and diffs its ``plan_dict()`` against the file this writes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[2] / "src")
+)
+
+from repro.experiments.adaptive import (  # noqa: E402
+    AdaptiveConfig,
+    run_adaptive_experiment,
+)
+from repro.experiments.scenarios import (  # noqa: E402
+    SimulationScenarioConfig,
+)
+from repro.experiments.spec import ExperimentSpec  # noqa: E402
+
+
+def golden_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="golden-adaptive",
+        protocols=("odmrp", "spp", "etx"),
+        seeds=(1, 2),
+        adaptive=AdaptiveConfig(
+            target_half_width=0.2, batch_size=2, min_seeds=2, max_seeds=8,
+        ),
+        config=SimulationScenarioConfig(
+            num_nodes=6,
+            area_width_m=400.0,
+            area_height_m=400.0,
+            num_groups=1,
+            members_per_group=3,
+            duration_s=6.0,
+            warmup_s=2.0,
+        ),
+    )
+
+
+def main() -> None:
+    plan = run_adaptive_experiment(golden_spec())
+    path = pathlib.Path(__file__).parent / "golden_adaptive_plan.json"
+    path.write_text(
+        json.dumps(plan.plan_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {path}")
+    print(f"  seeds spent: {plan.seeds_spent()}")
+    print(f"  stop reasons: {plan.stop_reasons()}")
+    print(f"  total runs: {plan.total_runs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -132,3 +132,86 @@ def test_seed_determinism_matrix(tmp_path):
     ).execute(specs)
     distributed = aggregate_runs([o.result for o in outcomes])
     assert distributed == baseline, "dir:// backend diverged from serial"
+
+
+@pytest.mark.perfsmoke
+def test_adaptive_determinism_matrix(tmp_path):
+    """The adaptive planner's determinism contract across the same
+    matrix: jobs 1/2/4, cold/warm cache, the ``dir://`` backend, and a
+    mid-sweep ``--resume`` must all reproduce the serial oracle's
+    batch-by-batch plan *and* run list bit for bit -- the stopping rule
+    is a pure function of seed-deterministic cell results, so nothing
+    about how cells execute may change which cells get planned.
+    """
+    import dataclasses
+
+    from repro.experiments.adaptive import (
+        AdaptiveConfig,
+        run_adaptive_experiment,
+    )
+    from repro.experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="adaptive-matrix",
+        protocols=("odmrp", "spp"),
+        seeds=(1, 2),
+        adaptive=AdaptiveConfig(
+            target_half_width=0.2, batch_size=2, min_seeds=2, max_seeds=6,
+        ),
+        config=SimulationScenarioConfig(
+            num_nodes=10,
+            area_width_m=500.0,
+            area_height_m=500.0,
+            num_groups=1,
+            members_per_group=3,
+            duration_s=15.0,
+            warmup_s=5.0,
+        ),
+    )
+    oracle = run_adaptive_experiment(spec)
+    oracle_plan = oracle.plan_dict()
+    oracle_aggregates = aggregate_runs(oracle.runs)
+
+    def check(label, plan):
+        assert plan.plan_dict() == oracle_plan, f"{label}: plan diverged"
+        assert plan.runs == oracle.runs, f"{label}: runs diverged"
+        assert aggregate_runs(plan.runs) == oracle_aggregates, (
+            f"{label}: aggregates diverged"
+        )
+
+    for jobs in (2, 4):
+        check(
+            f"jobs={jobs}",
+            run_adaptive_experiment(dataclasses.replace(spec, jobs=jobs)),
+        )
+
+    cache_dir = str(tmp_path / "adaptive-cache")
+    cached = dataclasses.replace(spec, use_cache=True)
+    check("cold cache", run_adaptive_experiment(cached, cache_dir=cache_dir))
+    check(
+        "warm cache jobs=4",
+        run_adaptive_experiment(
+            dataclasses.replace(cached, jobs=4), cache_dir=cache_dir
+        ),
+    )
+
+    shared = dataclasses.replace(
+        spec, backend=f"dir://{tmp_path / 'adaptive-shared'}"
+    )
+    check("dir:// backend", run_adaptive_experiment(shared, workers=2))
+
+    # Mid-sweep resume: journal only the first batch (batch_size * both
+    # protocols = the first 4 cells), then resume -- the replayed prefix
+    # plus live remainder must reproduce the oracle exactly.
+    journal = str(tmp_path / "adaptive-resume.jsonl")
+    partial = dataclasses.replace(
+        spec,
+        adaptive=dataclasses.replace(
+            spec.adaptive, max_seeds=spec.adaptive.batch_size
+        ),
+    )
+    run_adaptive_experiment(partial, journal_path=journal)
+    check(
+        "mid-sweep resume",
+        run_adaptive_experiment(spec, journal_path=journal, resume=True),
+    )
