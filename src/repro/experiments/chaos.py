@@ -298,6 +298,12 @@ def run_chaos(
        ``resume`` pass must replay into the *identical* batch-by-batch
        plan (stopping decisions, seeds spent, and run results all
        bit-identical to a clean adaptive run).
+    8. *campaign mid-draw kill* -- a fault campaign interrupted while
+       its runs are in flight must drain, and a ``resume`` pass must
+       replay into the *identical* sampled plan (generators, severities,
+       importance weights, per-seed fault digests) with run results
+       bit-identical to a clean campaign; the journaled
+       ``campaign-plan`` records must match the resumed plan.
     """
     report = ChaosReport()
     say = log or (lambda message: None)
@@ -691,6 +697,81 @@ def run_chaos(
         f"{len(journaled_plan)} per-batch stopping decision(s) in the "
         "journal match the resumed plan"
         if plan_journaled else "journaled plan records diverged",
+    )
+
+    # -- Phase 8: campaign plan survives a mid-draw kill ------------------
+    say("chaos: campaign mid-draw interrupt + resume ...")
+    from repro.experiments.campaigns import (
+        CampaignConfig,
+        replay_campaign_plan,
+        run_campaign_experiment,
+    )
+
+    campaign_spec = ExperimentSpec(
+        name="chaos-campaign",
+        protocols=protocols,
+        seeds=seeds,
+        jobs=1,
+        # Same trick as phase 7: the timeout engages the resilient
+        # executor, so the interrupt kills a real run child in flight.
+        run_timeout_s=timeout_s,
+        campaign=CampaignConfig(draws=2, master_seed=3),
+        config=config,
+    )
+    clean_campaign = run_campaign_experiment(
+        campaign_spec, cache_dir=cache_dir,
+        journal_path=os.path.join(work_dir, "campaign-clean.jsonl"),
+    )
+    campaign_journal = os.path.join(work_dir, "campaign.jsonl")
+    campaign_completions = {"count": 0}
+
+    def campaign_interrupt(protocol: str, seed: int) -> None:
+        campaign_completions["count"] += 1
+        if campaign_completions["count"] == 1:
+            os.kill(os.getpid(), signal.SIGINT)
+
+    campaign_interrupted = False
+    try:
+        run_campaign_experiment(
+            campaign_spec, cache_dir=cache_dir,
+            journal_path=campaign_journal, progress=campaign_interrupt,
+        )
+    except KeyboardInterrupt:
+        campaign_interrupted = True
+    campaign_partial = SweepJournal.replay(campaign_journal)
+    report.add(
+        "campaign-interrupt-drains",
+        campaign_interrupted and len(campaign_partial) >= 1
+        and all(record.ok for record in campaign_partial.values()),
+        f"interrupted={campaign_interrupted}, {len(campaign_partial)} "
+        "run(s) journaled mid-campaign",
+    )
+    resumed_campaign = run_campaign_experiment(
+        campaign_spec, cache_dir=cache_dir,
+        journal_path=campaign_journal, resume=True,
+    )
+    campaign_identical = (
+        resumed_campaign.plan_dict() == clean_campaign.plan_dict()
+        and resumed_campaign.runs == clean_campaign.runs
+    )
+    report.add(
+        "campaign-resume-identical", campaign_identical,
+        "resumed campaign plan and runs bit-identical to the clean run"
+        if campaign_identical else "resumed campaign diverged",
+    )
+    journaled_campaign = replay_campaign_plan(
+        campaign_journal, campaign_spec.name
+    )
+    campaign_journaled = [
+        {key: record[key] for key in
+         ("draw", "generator", "theta", "weight", "faults")}
+        for record in journaled_campaign
+    ] == resumed_campaign.plan_dict()["plan"]
+    report.add(
+        "campaign-plan-journaled", campaign_journaled,
+        f"{len(journaled_campaign)} journaled draw record(s) match the "
+        "resumed plan, weights included"
+        if campaign_journaled else "journaled campaign records diverged",
     )
     say("chaos: done")
     return report

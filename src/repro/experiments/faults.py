@@ -26,6 +26,26 @@ from repro.net.node import Node
 from repro.sim.engine import Simulator
 
 
+def merge_intervals(
+    intervals: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Union of half-open ``(start, end)`` intervals, sorted and disjoint.
+
+    The canonical downtime algebra: a node that is already down cannot
+    go "more down" (``Node.set_active`` is idempotent), so every
+    downtime quantity in this module is computed on the merged union,
+    never the naive per-window sum that double-counts overlaps.
+    """
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
 @dataclass
 class OutageWindow:
     """One planned radio outage."""
@@ -113,6 +133,102 @@ class FaultPlan:
                 flap.until_s,
             )
 
+    def node_intervals(self) -> Dict[int, List[Tuple[float, float]]]:
+        """Per-node merged downtime intervals the plan would schedule.
+
+        Flapping specs are expanded into their individual down-phases
+        (the exact windows :meth:`FailureInjector.schedule_flapping`
+        would produce) before merging, so the result is the plan's full
+        downtime footprint without needing a simulator.
+        """
+        raw: Dict[int, List[Tuple[float, float]]] = {}
+        for outage in self.outages:
+            raw.setdefault(outage.node_id, []).append(
+                (outage.start_s, outage.end_s)
+            )
+        for flap in self.flapping:
+            windows = raw.setdefault(flap.node_id, [])
+            start = flap.start_s
+            while start < flap.until_s:
+                down_end = min(
+                    start + flap.down_fraction * flap.period_s, flap.until_s
+                )
+                windows.append((start, down_end))
+                start += flap.period_s
+        return {
+            node_id: merge_intervals(intervals)
+            for node_id, intervals in raw.items()
+        }
+
+    def merged_downtime_s(self, node_id: int | None = None) -> float:
+        """Planned downtime after merging overlaps (union, not sum).
+
+        With ``node_id`` the downtime of that one node; without it the
+        total across all nodes (node-seconds of outage the plan
+        injects) -- the plan's headline severity number.
+        """
+        per_node = self.node_intervals()
+        if node_id is not None:
+            return sum(
+                end - start for start, end in per_node.get(node_id, [])
+            )
+        return sum(
+            end - start
+            for intervals in per_node.values()
+            for start, end in intervals
+        )
+
+    def severity_summary(self) -> Dict[str, float]:
+        """Compact per-plan severity numbers for reports and journals."""
+        per_node = self.node_intervals()
+        downtimes = [
+            sum(end - start for start, end in intervals)
+            for intervals in per_node.values()
+        ]
+        return {
+            "nodes_affected": float(len(per_node)),
+            "windows": float(
+                sum(len(intervals) for intervals in per_node.values())
+            ),
+            "total_downtime_s": sum(downtimes),
+            "max_node_downtime_s": max(downtimes, default=0.0),
+        }
+
+    def covers_interval(
+        self, node_id: int, start_s: float, end_s: float
+    ) -> bool:
+        """True when the merged downtime fully covers ``[start_s, end_s]``."""
+        if end_s <= start_s:
+            return False
+        for low, high in self.node_intervals().get(node_id, []):
+            if low <= start_s and high >= end_s:
+                return True
+        return False
+
+    def assert_source_uptime(
+        self, source_ids: List[int], start_s: float, end_s: float
+    ) -> "FaultPlan":
+        """Reject plans that silence a multicast source for the whole
+        traffic interval.
+
+        A source that is down for all of ``[start_s, end_s]`` (the CBR
+        interval: warmup to end of run) offers zero packets, so the run
+        reports zero delivery that says nothing about the routing
+        metric under test -- it would silently drag every aggregate
+        down.  Such plans are a configuration error; raises a
+        ``ValueError`` naming the node.  Returns self for chaining.
+        """
+        for source_id in source_ids:
+            if self.covers_interval(source_id, start_s, end_s):
+                raise ValueError(
+                    f"fault plan keeps multicast source node {source_id} "
+                    f"down for the entire traffic interval "
+                    f"[{start_s:g}, {end_s:g}] s -- the run would offer "
+                    "no packets and report zero delivery; shorten the "
+                    "outage or pick a different node"
+                )
+        return self
+
 
 @dataclass
 class FailureInjector:
@@ -162,19 +278,7 @@ class FailureInjector:
         idempotent), so the union of the windows -- not their naive sum,
         which double-counts overlaps -- is the planned-downtime quantity.
         """
-        intervals = sorted(
-            (w.start_s, w.end_s) for w in self.windows if w.node_id == node_id
+        merged = merge_intervals(
+            [(w.start_s, w.end_s) for w in self.windows if w.node_id == node_id]
         )
-        total = 0.0
-        current_start: float | None = None
-        current_end = 0.0
-        for start, end in intervals:
-            if current_start is None or start > current_end:
-                if current_start is not None:
-                    total += current_end - current_start
-                current_start, current_end = start, end
-            elif end > current_end:
-                current_end = end
-        if current_start is not None:
-            total += current_end - current_start
-        return total
+        return sum(end - start for start, end in merged)

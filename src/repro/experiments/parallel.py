@@ -61,7 +61,10 @@ from repro.telemetry.manifest import canonicalize
 #: v5: network configs gained `phy_backend` (vectorized PHY reception).
 #: v6: scenario configs gained `mobility`, `obstacles`, and `energy`
 #: sections (dynamic networks).
-CACHE_SCHEMA_VERSION = 6
+#: v7: faulty runs record `faults.*` severity counters in results, and
+#: plans that silence a source for the whole traffic interval are
+#: rejected instead of reporting zero delivery.
+CACHE_SCHEMA_VERSION = 7
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "runs")

@@ -349,6 +349,14 @@ def build_simulation_scenario(
     failure_injector: Optional[FailureInjector] = None
     if not config.faults.is_empty():
         config.faults.validate_for(config.num_nodes)
+        # A plan that keeps a source down for the whole traffic
+        # interval would make the run report zero delivery without
+        # measuring anything about the metric -- reject it loudly.
+        config.faults.assert_source_uptime(
+            [source_id for _gid, source_id in groups.all_sources()],
+            config.warmup_s,
+            config.duration_s,
+        )
         failure_injector = FailureInjector(network.sim)
         node_map = {node.node_id: node for node in network.nodes}
         config.faults.apply(failure_injector, node_map)

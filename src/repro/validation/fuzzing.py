@@ -176,11 +176,12 @@ def differential_check(
 
     The serial in-process sweep is the oracle.  Each alternate path --
     a process pool, the adaptive sequential planner capped to the same
-    seed pool, a cold-then-warm cache, a telemetry-enabled serial
-    pass, and one forced-``phy_backend`` serial pass per entry in
-    ``phy_backends`` -- must reproduce the oracle's :class:`RunResult`
-    rows bit-for-bit (the telemetry pass is compared with its artifact
-    path masked, since the path is the one legitimately new field).
+    seed pool, a one-draw fault campaign, a cold-then-warm cache, a
+    telemetry-enabled serial pass, and one forced-``phy_backend``
+    serial pass per entry in ``phy_backends`` -- must reproduce the
+    oracle's :class:`RunResult` rows bit-for-bit (the telemetry pass
+    is compared with its artifact path masked, since the path is the
+    one legitimately new field).
     The backend axis is the scalar<->vectorized parity gate: forcing
     either reception path through :class:`NetworkConfig.phy_backend`
     must not move a single bit relative to the spec's own (usually
@@ -209,6 +210,8 @@ def differential_check(
         errors.append(divergence)
 
     errors.extend(_adaptive_differences(spec, baseline))
+
+    errors.extend(_campaign_differences(spec))
 
     if phy_backends and spec.config.network.phy_backend == "auto":
         try:
@@ -324,6 +327,64 @@ def _adaptive_differences(
                 f"{run.topology_seed}) diverged in field(s) {fields}: "
                 f"baseline={want!r} candidate={run!r}"
             )
+    return errors
+
+
+def _campaign_differences(spec: ExperimentSpec) -> List[str]:
+    """The campaign axis: every cell the fault-campaign planner runs --
+    the fault-free CRN baseline and each cell of a one-draw importance
+    sample -- must equal an independently executed ``run_protocol``
+    call on the same (protocol, seed, fault plan) triple bit-for-bit.
+    The planner only adds orchestration (severity sampling, journals,
+    importance weights) on top of the run layer; none of it may move a
+    result bit.  The campaign strips any spec-level fault plan and
+    mobility axis first (campaigns sample fault plans themselves and
+    reject mobility specs), so this axis checks planner-vs-independent
+    execution, not planner-vs-oracle.
+    """
+    from repro.experiments.campaigns import (
+        CampaignConfig,
+        run_campaign_experiment,
+    )
+    from repro.experiments.faults import FaultPlan
+
+    campaign_spec = dataclasses.replace(
+        spec,
+        adaptive=None,
+        mobility_models=(),
+        campaign=CampaignConfig(draws=1, master_seed=7),
+        config=dataclasses.replace(spec.config, faults=FaultPlan()),
+    )
+    result = run_campaign_experiment(campaign_spec)
+    errors: List[str] = []
+    independent_baseline = [
+        run_protocol(s.protocol, s.seeded_config())
+        for s in sweep_specs(
+            campaign_spec.config, campaign_spec.protocols, campaign_spec.seeds
+        )
+    ]
+    divergence = _first_difference(
+        "campaign-baseline", independent_baseline, result.baseline_runs
+    )
+    if divergence:
+        errors.append(divergence)
+    for draw, runs in zip(result.draws, result.draw_runs):
+        independent = [
+            run_protocol(s.protocol, s.seeded_config())
+            for seed in campaign_spec.seeds
+            for s in sweep_specs(
+                dataclasses.replace(
+                    campaign_spec.config, faults=draw.plans[seed]
+                ),
+                campaign_spec.protocols,
+                (seed,),
+            )
+        ]
+        divergence = _first_difference(
+            f"campaign-draw-{draw.index}", independent, runs
+        )
+        if divergence:
+            errors.append(divergence)
     return errors
 
 
